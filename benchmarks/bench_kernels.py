@@ -1,0 +1,76 @@
+"""Micro-benchmarks for the state-vector kernels (host wall-clock).
+
+Not a paper table; these back the Sec. III-A roofline discussion and
+guard against kernel performance regressions (diagonal fast path, batched
+application, gather tables).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import make_gate
+from repro.sv.kernels import apply_gate, apply_gate_batched
+from repro.sv.layout import gather_index_table
+from repro.sv.simulator import random_state
+
+N = 18  # 2^18 amplitudes = 4 MB
+
+
+@pytest.fixture(scope="module")
+def state():
+    return random_state(N, seed=0)
+
+
+def bench_gate(benchmark, state, gate):
+    work = state.copy()
+    benchmark(lambda: apply_gate(work, gate, N))
+
+
+def test_h_low_qubit(benchmark, state):
+    bench_gate(benchmark, state, make_gate("h", [0]))
+
+
+def test_h_high_qubit(benchmark, state):
+    bench_gate(benchmark, state, make_gate("h", [N - 1]))
+
+
+def test_cx(benchmark, state):
+    bench_gate(benchmark, state, make_gate("cx", [2, N - 2]))
+
+
+def test_ccx(benchmark, state):
+    bench_gate(benchmark, state, make_gate("ccx", [0, N // 2, N - 1]))
+
+
+def test_diagonal_fast_path(benchmark, state):
+    bench_gate(benchmark, state, make_gate("rz", [N // 2], [0.3]))
+
+
+def test_dense_1q_for_comparison(benchmark, state):
+    bench_gate(benchmark, state, make_gate("rx", [N // 2], [0.3]))
+
+
+def test_batched_inner_vectors(benchmark):
+    # 2^10 inner vectors of 2^8 amplitudes: the hierarchical access shape.
+    rng = np.random.default_rng(1)
+    batch = (
+        rng.standard_normal((1 << 10, 1 << 8))
+        + 1j * rng.standard_normal((1 << 10, 1 << 8))
+    ).astype(np.complex128)
+    gate = make_gate("cx", [1, 6])
+    benchmark(lambda: apply_gate_batched(batch, gate, 8))
+
+
+def test_gather_table_construction(benchmark):
+    benchmark(lambda: gather_index_table(N, [3, 7, 11, 15]))
+
+
+def test_gather_scatter_roundtrip(benchmark, state):
+    table = gather_index_table(N, [3, 7, 11, 15])
+    work = state.copy()
+
+    def roundtrip():
+        inner = work[table]
+        work[table] = inner
+
+    benchmark(roundtrip)

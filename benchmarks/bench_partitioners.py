@@ -1,0 +1,29 @@
+"""Partitioner runtime benchmarks.
+
+Paper claim (Sec. IV-B): "Compared to the runtime of the quantum
+circuits, all three have negligible computation times" — partitioning a
+paper-width circuit must stay far below its simulated execution time.
+"""
+
+import pytest
+
+from repro.circuits.generators import build
+from repro.partition import get_partitioner
+
+CASES = [
+    ("bv", 30, 22),
+    ("qaoa", 30, 22),
+    ("qft", 30, 22),
+    ("qpe", 31, 23),
+]
+
+
+@pytest.mark.parametrize("strategy", ["Nat", "DFS", "dagP"])
+@pytest.mark.parametrize("name,n,limit", CASES)
+def test_partitioner_speed(benchmark, strategy, name, n, limit):
+    circuit = build(name, n)
+    partitioner = get_partitioner(strategy)
+    result = benchmark(lambda: partitioner.partition(circuit, limit))
+    assert result.num_parts >= 1
+    # "Negligible": well under a second even for the widest inputs.
+    assert benchmark.stats["mean"] < 2.0

@@ -1,0 +1,15 @@
+"""Table I — regenerate the benchmark-suite inventory."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1(benchmark, scale, save_result):
+    res = run_once(benchmark, lambda: table1.run(scale))
+    save_result(f"table1_{scale.name}", res.table())
+    assert len(res.rows) == 13
+    # Gate counts stay within a factor ~3 of the paper at matched width
+    # structure (exact counts depend on decomposition choices).
+    for row in res.rows:
+        assert row.gates > 0

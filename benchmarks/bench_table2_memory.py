@@ -1,0 +1,21 @@
+"""Table II — memory-access breakdown for bv and ising.
+
+Paper shape asserted: for both circuits, dagP <= DFS <= Nat on execution
+time, and dagP has the lowest DRAM clocktick share and memory-bound share.
+"""
+
+from repro.experiments import table2
+
+from conftest import run_once
+
+
+def test_table2(benchmark, scale, save_result):
+    res = run_once(benchmark, lambda: table2.run(scale=scale))
+    save_result(f"table2_{scale.name}", res.table())
+    for circuit in ("bv", "ising"):
+        nat = res.by(circuit, "Nat")
+        dfs = res.by(circuit, "DFS")
+        dagp = res.by(circuit, "dagP")
+        assert dagp.exec_seconds <= dfs.exec_seconds <= nat.exec_seconds
+        assert dagp.dram_pct <= nat.dram_pct
+        assert dagp.mem_bound_pct <= nat.mem_bound_pct

@@ -1,0 +1,27 @@
+"""Table IV — hybrid HiSVSIM+HyQuas end-to-end estimate.
+
+Shape asserted: communication ordered dagP <= DFS <= Nat (paper
+0.5/1.0/2.4 s), computation roughly equal across strategies (paper
+0.33-0.37 s), and hybrid-dagP beats plain HyQuas (paper 0.83 vs 1.47 s).
+"""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4(benchmark, scale, save_result):
+    res = run_once(benchmark, lambda: table4.run(num_qubits=28, num_gpus=4))
+    save_result(f"table4_{scale.name}", res.table())
+
+    est = res.estimates
+    assert est["dagP"].comm_seconds <= est["DFS"].comm_seconds * 1.05
+    assert est["DFS"].comm_seconds <= est["Nat"].comm_seconds * 1.05
+    comps = [est[s].gpu_seconds for s in ("Nat", "DFS", "dagP")]
+    assert max(comps) < 1.5 * min(comps)
+    assert est["dagP"].total_seconds < est["HyQuas"].total_seconds
+    print(
+        "totals (s): "
+        + ", ".join(f"{s}={est[s].total_seconds:.2f}" for s in est)
+        + "  (paper: dagP 0.83 < HyQuas 1.47)"
+    )

@@ -1,0 +1,24 @@
+"""Sec. V-A — single-node OpenMP strong scaling (model).
+
+Paper: "HiSVSIM exhibits a close-to-linear speedup in this strong scaling
+case" for thread counts 2..128.  Asserted: monotone speedup, >= 1.6x at 2
+threads and >= 5x at 16 threads.
+"""
+
+from repro.experiments import thread_scaling
+
+from conftest import run_once
+
+
+def test_thread_scaling(benchmark, scale, save_result):
+    res = run_once(
+        benchmark,
+        lambda: thread_scaling.run(num_qubits=24, limit=16),
+    )
+    save_result(f"thread_scaling_{scale.name}", res.table())
+
+    sp = {r.threads: r.speedup for r in res.rows}
+    speeds = [r.speedup for r in res.rows]
+    assert speeds == sorted(speeds)
+    assert sp[2] >= 1.6
+    assert sp[16] >= 5.0

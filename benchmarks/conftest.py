@@ -1,0 +1,46 @@
+"""Benchmark harness infrastructure.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Harness conventions:
+
+* the experiment computation runs once per benchmark (``pedantic`` with a
+  single round — these are end-to-end experiment timings, not
+  micro-benchmarks) unless the module is an explicit kernel benchmark;
+* the paper-shaped table is printed and saved under ``results/`` via the
+  ``save_result`` fixture, so ``pytest benchmarks/ --benchmark-only``
+  leaves the regenerated tables on disk;
+* scale comes from ``REPRO_SCALE`` (default ``small``; set ``paper`` for
+  the full-width reproduction recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import RESULTS_DIR, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture()
+def save_result():
+    """Persist a regenerated table under results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment end-to-end exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs PEP 660 editable wheels, which require the
+``wheel`` distribution; offline boxes without it can fall back to the
+legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation --no-deps
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

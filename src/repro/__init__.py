@@ -1,0 +1,35 @@
+"""HiSVSIM reproduction: hierarchical state-vector quantum circuit
+simulation via acyclic graph partitioning (Fang et al., CLUSTER 2022).
+
+Public entry points::
+
+    from repro import QuantumCircuit, generators
+    from repro.partition import get_partitioner
+    from repro.sv import StateVectorSimulator, HierarchicalExecutor
+    from repro.dist import HiSVSimEngine, IQSEngine
+"""
+
+from .circuits import (
+    GATE_DEFS,
+    CircuitStats,
+    Gate,
+    QuantumCircuit,
+    gate_matrix,
+    generators,
+    make_gate,
+    qasm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GATE_DEFS",
+    "CircuitStats",
+    "Gate",
+    "QuantumCircuit",
+    "gate_matrix",
+    "generators",
+    "make_gate",
+    "qasm",
+    "__version__",
+]

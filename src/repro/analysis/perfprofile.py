@@ -1,0 +1,80 @@
+"""Dolan–Moré performance profiles (paper Fig. 9).
+
+For algorithms ``a`` and instances ``i`` with costs ``t[a][i]``, the
+profile is ``rho_a(theta) = |{i : t[a][i] <= theta * min_b t[b][i]}| / N``
+— the fraction of instances where ``a`` is within factor ``theta`` of the
+best performer (Dolan & Moré, Math. Program. 2002).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["performance_profile", "ProfileCurve"]
+
+
+@dataclass(frozen=True)
+class ProfileCurve:
+    """One algorithm's profile: rho sampled at the given thetas."""
+
+    algorithm: str
+    thetas: Tuple[float, ...]
+    rho: Tuple[float, ...]
+
+    def rho_at(self, theta: float) -> float:
+        """rho at an arbitrary theta (step interpolation)."""
+        out = 0.0
+        for t, r in zip(self.thetas, self.rho):
+            if t <= theta:
+                out = r
+            else:
+                break
+        return out
+
+
+def performance_profile(
+    costs: Mapping[str, Mapping[str, float]],
+    thetas: Sequence[float] | None = None,
+) -> Dict[str, ProfileCurve]:
+    """Compute profiles for ``costs[algorithm][instance]``.
+
+    Instances missing from an algorithm are treated as failures (never
+    within any factor).  All present costs must be positive.
+    """
+    algorithms = sorted(costs)
+    instances = sorted({i for a in algorithms for i in costs[a]})
+    if not instances:
+        raise ValueError("no instances")
+    best: Dict[str, float] = {}
+    for i in instances:
+        vals = [costs[a][i] for a in algorithms if i in costs[a]]
+        if not vals:
+            continue
+        if any(v <= 0 for v in vals):
+            raise ValueError(f"non-positive cost for instance {i}")
+        best[i] = min(vals)
+    if thetas is None:
+        ratios = sorted(
+            costs[a][i] / best[i]
+            for a in algorithms
+            for i in costs[a]
+            if i in best
+        )
+        hi = max(2.0, ratios[-1]) if ratios else 2.0
+        thetas = list(np.linspace(1.0, hi, 101))
+    curves: Dict[str, ProfileCurve] = {}
+    n = len(instances)
+    for a in algorithms:
+        rho = []
+        for th in thetas:
+            count = sum(
+                1
+                for i in instances
+                if i in costs[a] and i in best and costs[a][i] <= th * best[i] + 1e-15
+            )
+            rho.append(count / n)
+        curves[a] = ProfileCurve(a, tuple(float(t) for t in thetas), tuple(rho))
+    return curves

@@ -1,0 +1,22 @@
+"""Cache-hierarchy model: exact trace simulation + analytic sweep model."""
+
+from .cache import CacheLevel
+from .hierarchy import CacheHierarchy, SweepEvent, SweepProfile, analyze_sweeps
+from .trace import (
+    line_trace_flat,
+    line_trace_hierarchical,
+    sweeps_for_flat,
+    sweeps_for_partition,
+)
+
+__all__ = [
+    "CacheLevel",
+    "CacheHierarchy",
+    "SweepEvent",
+    "SweepProfile",
+    "analyze_sweeps",
+    "line_trace_flat",
+    "line_trace_hierarchical",
+    "sweeps_for_flat",
+    "sweeps_for_partition",
+]

@@ -1,0 +1,75 @@
+"""Set-associative LRU cache level (trace-driven mode).
+
+The exact simulator behind :mod:`repro.cachesim.hierarchy`'s trace path.
+Used at small scale to validate the analytic sweep model that generates
+Table II; a VTune substitute, not a microarchitectural twin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List
+
+__all__ = ["CacheLevel"]
+
+
+class CacheLevel:
+    """One cache level with LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_bytes:
+        Cache-line size (64 for the paper's CPUs).
+    assoc:
+        Ways per set; ``size_bytes / (line_bytes * assoc)`` sets.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, assoc: int = 8) -> None:
+        if size_bytes % (line_bytes * assoc) != 0:
+            raise ValueError("size must be a multiple of line_bytes * assoc")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (line_bytes * assoc)
+        # Per-set LRU: OrderedDict tag -> None (front = LRU victim).
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def access_line(self, line_addr: int) -> bool:
+        """Access one line address (already divided by line size); True = hit."""
+        set_idx = line_addr % self.num_sets
+        tag = line_addr // self.num_sets
+        s = self._sets[set_idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[tag] = None
+        return False
+
+    def access_bytes(self, byte_addr: int) -> bool:
+        return self.access_line(byte_addr // self.line_bytes)
+
+    def access_stream(self, line_addrs: Iterable[int]) -> Dict[str, int]:
+        """Run a whole line-address stream; returns hit/miss deltas."""
+        h0, m0 = self.hits, self.misses
+        for a in line_addrs:
+            self.access_line(int(a))
+        return {"hits": self.hits - h0, "misses": self.misses - m0}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,146 @@
+"""Access-pattern generation for cache analysis.
+
+Bridges executions to the cache model in two ways:
+
+* :func:`sweeps_for_partition` — the scalable path: emits
+  :class:`~repro.cachesim.hierarchy.SweepEvent` streams describing a
+  hierarchical run (cold gather per part, cache-resident gate sweeps on
+  inner state vectors, cold scatter).  Feeds Table II.
+* :func:`line_trace_flat` / :func:`line_trace_hierarchical` — literal
+  cache-line address streams (Fig.-1 strided pattern) for the exact
+  trace-driven simulator; used in tests to validate the sweep model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..partition.base import Partition
+from ..sv.kernels import flops_for_gate
+from ..sv.layout import gather_index_table
+from .hierarchy import SweepEvent
+
+__all__ = [
+    "sweeps_for_flat",
+    "sweeps_for_partition",
+    "line_trace_flat",
+    "line_trace_hierarchical",
+]
+
+_AMP = 16  # bytes per complex128 amplitude
+
+
+def sweeps_for_flat(circuit: QuantumCircuit) -> List[SweepEvent]:
+    """Sweep stream of a non-hierarchical run: every gate passes over the
+    full state vector, which only caches if the whole state fits."""
+    n = circuit.num_qubits
+    sv_bytes = _AMP << n
+    return [
+        SweepEvent(
+            working_set_bytes=sv_bytes,
+            bytes_moved=2 * sv_bytes,
+            flops=float(flops_for_gate(g.num_qubits, n, g.is_diagonal)),
+        )
+        for g in circuit
+    ]
+
+
+def sweeps_for_partition(
+    circuit: QuantumCircuit, partition: Partition
+) -> List[SweepEvent]:
+    """Sweep stream of a hierarchical (Algorithm 1) run.
+
+    Per part: a cold gather pass and a cold scatter pass over the full
+    state, and per gate a pass whose resident set is one inner state
+    vector (``2^w`` amplitudes) — the locality the partitioning buys.
+    """
+    n = circuit.num_qubits
+    sv_bytes = _AMP << n
+    events: List[SweepEvent] = []
+    for part in partition.parts:
+        w = part.working_set_size
+        inner_bytes = _AMP << w
+        events.append(
+            SweepEvent(working_set_bytes=sv_bytes, bytes_moved=2 * sv_bytes, cold=True)
+        )
+        for gi in part.gate_indices:
+            g = circuit[gi]
+            events.append(
+                SweepEvent(
+                    working_set_bytes=inner_bytes,
+                    bytes_moved=2 * sv_bytes,
+                    flops=float(flops_for_gate(g.num_qubits, n, g.is_diagonal)),
+                )
+            )
+        events.append(
+            SweepEvent(working_set_bytes=sv_bytes, bytes_moved=2 * sv_bytes, cold=True)
+        )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Literal line traces (validation / tiny configs)
+# ---------------------------------------------------------------------------
+
+
+def _gate_line_addrs(
+    qubits: Sequence[int], n: int, base_addr: int, line_bytes: int
+) -> np.ndarray:
+    """Cache lines touched applying one gate to an ``n``-qubit state.
+
+    Follows the Fig. 1 pattern: for every amplitude group the strided
+    elements are gathered and written back; returned in group order.
+    """
+    table = gather_index_table(n, list(qubits))
+    addrs = (base_addr + table.reshape(-1) * _AMP) // line_bytes
+    return addrs
+
+
+def line_trace_flat(
+    circuit: QuantumCircuit, base_addr: int = 0, line_bytes: int = 64
+) -> Iterator[int]:
+    """Exact line-address stream of a flat run (reads ~ writes collapsed)."""
+    n = circuit.num_qubits
+    for g in circuit:
+        for a in _gate_line_addrs(g.qubits, n, base_addr, line_bytes):
+            yield int(a)
+
+
+def line_trace_hierarchical(
+    circuit: QuantumCircuit,
+    partition: Partition,
+    base_addr: int = 0,
+    line_bytes: int = 64,
+) -> Iterator[int]:
+    """Exact line-address stream of Algorithm 1.
+
+    The inner state vector is placed in a scratch buffer right after the
+    outer state; gather/scatter touch outer lines, gate sweeps touch
+    scratch lines.
+    """
+    n = circuit.num_qubits
+    scratch_base = base_addr + (_AMP << n)
+    for part in partition.parts:
+        w = part.working_set_size
+        table = gather_index_table(n, list(part.qubits))
+        inner_lines = ((scratch_base + np.arange(1 << w) * _AMP) // line_bytes).astype(
+            np.int64
+        )
+        pos = {q: i for i, q in enumerate(part.qubits)}
+        for t in range(table.shape[0]):
+            # Gather: outer reads.
+            for a in (base_addr + table[t] * _AMP) // line_bytes:
+                yield int(a)
+            # Execute: strided sweeps inside the scratch inner vector.
+            for gi in part.gate_indices:
+                g = circuit[gi]
+                local = [pos[q] for q in g.qubits]
+                inner_table = gather_index_table(w, local)
+                for a in inner_lines[inner_table.reshape(-1)]:
+                    yield int(a)
+            # Scatter: outer writes.
+            for a in (base_addr + table[t] * _AMP) // line_bytes:
+                yield int(a)

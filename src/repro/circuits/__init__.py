@@ -1,0 +1,20 @@
+"""Circuit IR: gates, containers, QASM I/O and benchmark generators."""
+
+from .circuit import CircuitStats, QuantumCircuit
+from .gates import GATE_DEFS, Gate, GateDef, controlled, gate_matrix, is_unitary, make_gate
+from . import generators, qasm, transforms
+
+__all__ = [
+    "CircuitStats",
+    "QuantumCircuit",
+    "GATE_DEFS",
+    "Gate",
+    "GateDef",
+    "controlled",
+    "gate_matrix",
+    "is_unitary",
+    "make_gate",
+    "generators",
+    "qasm",
+    "transforms",
+]

@@ -1,0 +1,37 @@
+"""Cat (GHZ) state preparation.
+
+``|0...0> -> (|0...0> + |1...1>)/sqrt(2)``: one Hadamard followed by a CNOT
+chain.  QASMBench's ``cat_state_n*`` additionally mirrors the chain to give
+2n-ish gate counts; we include the optional mirror to match Table I's
+60-gates-at-30-qubits figure.
+"""
+
+from __future__ import annotations
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["cat_state"]
+
+
+def cat_state(num_qubits: int, mirror: bool = True) -> QuantumCircuit:
+    """Build a cat-state circuit on ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width (>= 2).
+    mirror:
+        When True (default) the CNOT chain is applied forward and backward
+        (verification-style structure; matches the paper's gate count scale).
+    """
+    if num_qubits < 2:
+        raise ValueError("cat_state needs >= 2 qubits")
+    qc = QuantumCircuit(num_qubits, name=f"cat_state_n{num_qubits}")
+    qc.h(0)
+    for i in range(num_qubits - 1):
+        qc.cx(i, i + 1)
+    if mirror:
+        qc.h(0)
+        for i in range(num_qubits - 1):
+            qc.cx(i, i + 1)
+    return qc

@@ -1,0 +1,80 @@
+"""Quantum Fourier Transform.
+
+Standard H + controlled-phase ladder with optional final swaps.  QASMBench's
+``qft`` decomposes each ``cu1`` into ``u1 - cx - u1 - cx - u1`` (5 gates),
+which is why Table I reports ~2,235 gates at 30 qubits; the ``decompose``
+flag reproduces that representation and is the default.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["qft"]
+
+
+def _cu1_decomposed(qc: QuantumCircuit, lam: float, control: int, target: int) -> None:
+    """cu1(lam) as u1/cx/u1/cx/u1 (standard qelib1 expansion)."""
+    qc.u1(lam / 2, control)
+    qc.cx(control, target)
+    qc.u1(-lam / 2, target)
+    qc.cx(control, target)
+    qc.u1(lam / 2, target)
+
+
+def qft(
+    num_qubits: int,
+    decompose: bool = True,
+    do_swaps: bool = True,
+    inverse: bool = False,
+) -> QuantumCircuit:
+    """QFT (or inverse QFT) circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    decompose:
+        Expand controlled-phase gates into u1/cx primitives (QASMBench
+        representation; default True).
+    do_swaps:
+        Apply the final bit-reversal swaps.
+    inverse:
+        Build the inverse transform (angles negated, order reversed).
+    """
+    if num_qubits < 1:
+        raise ValueError("qft needs >= 1 qubit")
+    qc = QuantumCircuit(num_qubits, name=f"{'iqft' if inverse else 'qft'}_n{num_qubits}")
+    sign = -1.0 if inverse else 1.0
+
+    def emit_rot(lam: float, control: int, target: int) -> None:
+        if decompose:
+            _cu1_decomposed(qc, lam, control, target)
+        else:
+            qc.cu1(lam, control, target)
+
+    # Standard circuit processes the most significant qubit first
+    # (little-endian: qubit n-1); cu1 is symmetric so only the order
+    # relative to the H gates matters.
+    def emit_swaps() -> None:
+        for i in range(num_qubits // 2):
+            qc.swap(i, num_qubits - 1 - i)
+
+    if not inverse:
+        for j in reversed(range(num_qubits)):
+            qc.h(j)
+            for k in reversed(range(j)):
+                emit_rot(sign * math.pi / (1 << (j - k)), k, j)
+        if do_swaps:
+            emit_swaps()
+    else:
+        # Exact reverse gate order with negated angles.
+        if do_swaps:
+            emit_swaps()
+        for j in range(num_qubits):
+            for k in range(j):
+                emit_rot(sign * math.pi / (1 << (j - k)), k, j)
+            qc.h(j)
+    return qc

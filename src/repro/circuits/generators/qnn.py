@@ -1,0 +1,54 @@
+"""Quantum neural network (variational classifier ansatz).
+
+QASMBench's ``qnn`` is a layered variational circuit: data-encoding
+rotations, entangling CX ladders and trainable rotation layers, closed by a
+measurement-basis change.  Gate count ~164 at 31 qubits corresponds to two
+ansatz layers; the layer count is configurable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+
+__all__ = ["qnn"]
+
+
+def qnn(num_qubits: int, layers: int = 2, seed: int = 11) -> QuantumCircuit:
+    """Variational QNN ansatz.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    layers:
+        Entangling + rotation layers (paper scale: 2).
+    seed:
+        Deterministic parameter seed.
+    """
+    if num_qubits < 2:
+        raise ValueError("qnn needs >= 2 qubits")
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    qc = QuantumCircuit(num_qubits, name=f"qnn_n{num_qubits}")
+
+    def angle(layer: int, q: int, kind: int) -> float:
+        # Deterministic pseudo-random angles (no RNG dependency).
+        return math.pi * (((seed + 37 * layer + 13 * q + 7 * kind) % 97) / 97.0)
+
+    # Data encoding.
+    for q in range(num_qubits):
+        qc.h(q)
+        qc.ry(angle(0, q, 0), q)
+    for layer in range(1, layers + 1):
+        # Entangling ladder.
+        for q in range(num_qubits - 1):
+            qc.cx(q, q + 1)
+        # Trainable rotations.
+        for q in range(num_qubits):
+            qc.ry(angle(layer, q, 1), q)
+            qc.rz(angle(layer, q, 2), q)
+    # Readout basis change on the last qubit.
+    qc.h(num_qubits - 1)
+    return qc

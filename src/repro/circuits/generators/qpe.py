@@ -1,0 +1,58 @@
+"""Quantum phase estimation.
+
+Estimates the eigenphase of ``U = u1(2*pi*phase)`` on one target qubit using
+``num_qubits - 1`` counting qubits: Hadamards, controlled powers
+``U^(2^k)`` and an inverse QFT on the counting register.  With the
+QASMBench-style cu1 decomposition this reaches thousands of gates at
+31 qubits (Table I's largest gate count).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import QuantumCircuit
+from .qft import _cu1_decomposed
+
+__all__ = ["qpe"]
+
+
+def qpe(num_qubits: int, phase: float = 1.0 / 3.0, decompose: bool = True) -> QuantumCircuit:
+    """Phase-estimation circuit (last qubit is the eigenstate target).
+
+    Parameters
+    ----------
+    num_qubits:
+        Total width; ``num_qubits - 1`` counting qubits + 1 target.
+    phase:
+        Eigenphase in [0, 1) of the unitary being estimated.
+    decompose:
+        Expand cu1 into u1/cx primitives (default True, QASMBench style).
+    """
+    if num_qubits < 2:
+        raise ValueError("qpe needs >= 2 qubits")
+    n_count = num_qubits - 1
+    target = num_qubits - 1
+    qc = QuantumCircuit(num_qubits, name=f"qpe_n{num_qubits}")
+    # Eigenstate of u1 is |1>.
+    qc.x(target)
+    for q in range(n_count):
+        qc.h(q)
+    # Controlled-U^(2^k); u1 powers just scale the angle (mod 2*pi).
+    for k in range(n_count):
+        lam = 2.0 * math.pi * phase * (1 << k)
+        lam = math.remainder(lam, 2.0 * math.pi)
+        if decompose:
+            _cu1_decomposed(qc, lam, k, target)
+        else:
+            qc.cu1(lam, k, target)
+    # Inverse QFT on the counting register (no swaps; bit-reversed readout).
+    for j in reversed(range(n_count)):
+        for k in reversed(range(j + 1, n_count)):
+            lam = -math.pi / (1 << (k - j))
+            if decompose:
+                _cu1_decomposed(qc, lam, k, j)
+            else:
+                qc.cu1(lam, k, j)
+        qc.h(j)
+    return qc

@@ -1,0 +1,161 @@
+"""OpenQASM 2.0 subset reader/writer.
+
+Supports the gate vocabulary of :mod:`repro.circuits.gates`, one quantum
+register, arbitrary parameter expressions built from numbers, ``pi``,
+``+ - * /`` and parentheses.  ``measure``/``barrier``/classical registers
+are accepted on input and ignored (the paper's simulators are
+measurement-free).  Round-tripping a circuit through :func:`dumps` /
+:func:`loads` yields an equal circuit.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import QuantumCircuit
+from .gates import GATE_DEFS, make_gate
+
+__all__ = ["dumps", "loads", "dump", "load", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed QASM input."""
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+def dumps(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for g in circuit:
+        if g.params:
+            par = "(" + ",".join(repr(float(p)) for p in g.params) + ")"
+        else:
+            par = ""
+        ops = ",".join(f"q[{q}]" for q in g.qubits)
+        lines.append(f"{g.name}{par} {ops};")
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: QuantumCircuit, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(circuit))
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+_TOKEN_STRIP = re.compile(r"//[^\n]*")
+_GATE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>.*)$"
+)
+_QARG_RE = re.compile(r"^(?P<reg>[A-Za-z_][A-Za-z0-9_]*)\[(?P<idx>\d+)\]$")
+
+_ALLOWED_AST = (
+    ast.Expression,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.USub,
+    ast.UAdd,
+    ast.Pow,
+)
+
+
+def _eval_param(expr: str) -> float:
+    """Safely evaluate a QASM parameter expression (numbers, pi, + - * / **)."""
+    expr = expr.strip().replace("^", "**")
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:  # pragma: no cover - defensive
+        raise QasmError(f"bad parameter expression {expr!r}") from exc
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_AST):
+            raise QasmError(f"disallowed token in parameter {expr!r}")
+        if isinstance(node, ast.Name) and node.id != "pi":
+            raise QasmError(f"unknown symbol {node.id!r} in parameter")
+    return float(eval(compile(tree, "<qasm>", "eval"), {"__builtins__": {}}, {"pi": math.pi}))
+
+
+def loads(text: str, name: str = "qasm") -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text into a :class:`QuantumCircuit`."""
+    text = _TOKEN_STRIP.sub("", text)
+    # Statements are ';'-separated; normalise whitespace.
+    stmts = [s.strip() for s in text.replace("\n", " ").split(";")]
+    regs: Dict[str, int] = {}
+    offsets: Dict[str, int] = {}
+    gates: List[Tuple[str, Tuple[float, ...], Tuple[int, ...]]] = []
+    total = 0
+    for stmt in stmts:
+        if not stmt:
+            continue
+        low = stmt.lower()
+        if low.startswith("openqasm") or low.startswith("include"):
+            continue
+        if low.startswith("creg") or low.startswith("barrier"):
+            continue
+        if low.startswith("measure") or low.startswith("reset"):
+            continue
+        if low.startswith("qreg"):
+            m = re.match(r"qreg\s+([A-Za-z_][A-Za-z0-9_]*)\[(\d+)\]", stmt)
+            if not m:
+                raise QasmError(f"bad qreg statement {stmt!r}")
+            regs[m.group(1)] = int(m.group(2))
+            offsets[m.group(1)] = total
+            total += int(m.group(2))
+            continue
+        if low.startswith("gate ") or low.startswith("opaque"):
+            raise QasmError("user-defined gates are not supported")
+        m = _GATE_RE.match(stmt)
+        if not m:
+            raise QasmError(f"unparsable statement {stmt!r}")
+        gname = m.group("name").lower()
+        if gname not in GATE_DEFS:
+            raise QasmError(f"unsupported gate {gname!r}")
+        params: Tuple[float, ...] = ()
+        if m.group("params") is not None:
+            params = tuple(
+                _eval_param(p) for p in m.group("params").split(",") if p.strip()
+            )
+        qubits: List[int] = []
+        for arg in m.group("args").split(","):
+            arg = arg.strip()
+            qm = _QARG_RE.match(arg)
+            if not qm:
+                raise QasmError(f"bad qubit argument {arg!r} in {stmt!r}")
+            reg = qm.group("reg")
+            if reg not in regs:
+                raise QasmError(f"unknown register {reg!r}")
+            idx = int(qm.group("idx"))
+            if idx >= regs[reg]:
+                raise QasmError(f"qubit {arg} out of range")
+            qubits.append(offsets[reg] + idx)
+        gates.append((gname, params, tuple(qubits)))
+    if total == 0:
+        raise QasmError("no qreg declared")
+    qc = QuantumCircuit(total, name=name)
+    for gname, params, qubits in gates:
+        qc.append(make_gate(gname, qubits, params))
+    return qc
+
+
+def load(path: str) -> QuantumCircuit:
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read(), name=path.rsplit("/", 1)[-1])

@@ -1,0 +1,123 @@
+"""Command-line experiment driver.
+
+Usage::
+
+    repro list                       # experiments available
+    repro table1 [--scale paper]     # one experiment
+    repro all --scale paper          # everything, saved under results/
+    repro circuit bv --qubits 16     # inspect a generated circuit
+
+Each experiment prints its paper-shaped table and (with ``--save``) writes
+it under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict
+
+from .analysis.tables import save_text
+from .experiments import (
+    SCALES,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    ilp_quality,
+    table1,
+    table2,
+    table3,
+    table4,
+    thread_scaling,
+)
+from .experiments.common import RESULTS_DIR
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "ilp": ilp_quality.run,
+    "threads": thread_scaling.run,
+}
+
+
+def _run_one(name: str, scale_name: str, save: bool) -> str:
+    scale = SCALES[scale_name]
+    t0 = time.perf_counter()
+    result = EXPERIMENTS[name](scale=scale)
+    text = result.table()
+    text += f"\n[{name} @ scale={scale_name}: {time.perf_counter() - t0:.1f}s]\n"
+    if save:
+        save_text(os.path.join(RESULTS_DIR, f"{name}_{scale_name}.txt"), text)
+    return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HiSVSIM reproduction experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments")
+
+    for name in EXPERIMENTS:
+        p = sub.add_parser(name, help=f"run experiment {name}")
+        p.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "small"),
+                       choices=sorted(SCALES))
+        p.add_argument("--save", action="store_true")
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--scale", default=os.environ.get("REPRO_SCALE", "small"),
+                       choices=sorted(SCALES))
+    p_all.add_argument("--save", action="store_true", default=True)
+
+    p_circ = sub.add_parser("circuit", help="inspect a generated circuit")
+    p_circ.add_argument("name")
+    p_circ.add_argument("--qubits", type=int, default=16)
+    p_circ.add_argument("--qasm", action="store_true", help="print OpenQASM")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "circuit":
+        from .circuits import generators, qasm
+
+        qc = generators.build(args.name, args.qubits)
+        if args.qasm:
+            print(qasm.dumps(qc), end="")
+        else:
+            st = qc.stats()
+            print(
+                f"{qc.name}: qubits={st.num_qubits} gates={st.num_gates} "
+                f"(1q={st.num_1q}, 2q={st.num_2q}, multi={st.num_multi}) "
+                f"depth={st.depth} state={st.memory_human()}"
+            )
+        return 0
+    if args.command == "all":
+        for name in EXPERIMENTS:
+            print(f"=== {name} ===")
+            print(_run_one(name, args.scale, save=True))
+        print(f"saved under {RESULTS_DIR}/")
+        return 0
+    print(_run_one(args.command, args.scale, args.save))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

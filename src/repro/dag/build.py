@@ -1,0 +1,40 @@
+"""Circuit -> DAG compilation (Sec. III-B design choice (a), Sec. IV-A model).
+
+For every qubit we create an entry node (no predecessors) and an exit node
+(no successors); gate nodes are chained along each operand qubit's timeline.
+Each gate's in-edge count therefore equals its operand count, and the edges
+carry unique qubit labels — the structural property the paper's working-set
+counting trick relies on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..circuits.circuit import QuantumCircuit
+from .graph import CircuitDAG, NodeKind
+
+__all__ = ["build_dag"]
+
+
+def build_dag(circuit: QuantumCircuit) -> CircuitDAG:
+    """Compile ``circuit`` into its qubit-labelled :class:`CircuitDAG`."""
+    n = circuit.num_qubits
+    dag = CircuitDAG(n)
+    # Entry nodes first: ids 0..n-1 (qubit q -> node q).
+    entries: List[int] = [
+        dag.add_node(NodeKind.ENTRY, qubit=q, qmask=1 << q) for q in range(n)
+    ]
+    last: List[int] = list(entries)
+    for i, gate in enumerate(circuit):
+        mask = 0
+        for q in gate.qubits:
+            mask |= 1 << q
+        v = dag.add_node(NodeKind.GATE, gate_index=i, qmask=mask)
+        for q in gate.qubits:
+            dag.add_edge(last[q], v, q)
+            last[q] = v
+    for q in range(n):
+        x = dag.add_node(NodeKind.EXIT, qubit=q, qmask=1 << q)
+        dag.add_edge(last[q], x, q)
+    return dag

@@ -1,0 +1,38 @@
+"""Per-table/figure experiment modules (see DESIGN.md experiment index)."""
+
+from . import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    ilp_quality,
+    sweep,
+    table1,
+    table2,
+    table3,
+    table4,
+    thread_scaling,
+)
+from .common import SCALES, Scale, current_scale, suite_circuits
+
+__all__ = [
+    "SCALES",
+    "Scale",
+    "current_scale",
+    "suite_circuits",
+    "sweep",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ilp_quality",
+    "thread_scaling",
+]

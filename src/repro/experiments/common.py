@@ -1,0 +1,125 @@
+"""Shared experiment infrastructure: scales, suites, partition caches.
+
+Experiments run at a named *scale*:
+
+* ``tiny``  — real amplitudes end-to-end (numerics verified); used by tests.
+* ``small`` — dry-run engines, 16-qubit base; the default for the
+  benchmark harness (fast, shape-preserving).
+* ``paper`` — dry-run engines at the paper's widths (30–37 qubits) and
+  rank counts (16–1024); what EXPERIMENTS.md records.
+
+Select with ``REPRO_SCALE=tiny|small|paper`` or pass a
+:class:`Scale` explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.generators import PAPER_SUITE_SPEC, build
+from ..partition import (
+    DagPPartitioner,
+    DFSPartitioner,
+    NaturalPartitioner,
+    Partition,
+)
+from ..runtime.machine import FRONTERA_LIKE, MachineModel
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "suite_circuits",
+    "ranks_for",
+    "partition_cached",
+    "STRATEGY_ORDER",
+    "make_partitioner",
+    "RESULTS_DIR",
+]
+
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+STRATEGY_ORDER = ("Nat", "DFS", "dagP")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One experiment scale.
+
+    ``base_qubits`` sets the width of the paper's 30-qubit circuits; the
+    31/35/36/37-qubit entries keep their offsets.  ``ranks_small`` applies
+    to the <35-qubit group, ``ranks_large`` to the rest (paper: 16–256 vs
+    512/1024).  ``dry_run`` switches engines to the amplitude-free path.
+    """
+
+    name: str
+    base_qubits: int
+    ranks_small: Tuple[int, ...]
+    ranks_large: Tuple[int, ...]
+    dry_run: bool
+    machine: MachineModel = FRONTERA_LIKE
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale("tiny", 10, (2, 4), (4, 8), False),
+    "small": Scale("small", 16, (4, 8, 16), (16, 32), True),
+    "paper": Scale("paper", 30, (16, 32, 64, 128, 256), (512, 1024), True),
+}
+
+
+def current_scale() -> Scale:
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise KeyError(
+            f"REPRO_SCALE={name!r} unknown; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+@lru_cache(maxsize=None)
+def suite_circuits(base_qubits: int) -> Dict[str, QuantumCircuit]:
+    """The 13-entry Table I suite at the given base width (cached)."""
+    out: Dict[str, QuantumCircuit] = {}
+    for spec in PAPER_SUITE_SPEC:
+        qc = build(spec["gen"], base_qubits + spec["offset"])
+        qc.name = spec["key"]
+        out[spec["key"]] = qc
+    return out
+
+
+def is_large(key: str) -> bool:
+    """True for the paper's >=35-qubit group (bv35/ising35/cc36/adder37)."""
+    return any(ch.isdigit() for ch in key)
+
+
+def ranks_for(key: str, scale: Scale) -> Tuple[int, ...]:
+    return scale.ranks_large if is_large(key) else scale.ranks_small
+
+
+def make_partitioner(name: str):
+    if name == "Nat":
+        return NaturalPartitioner()
+    if name == "DFS":
+        return DFSPartitioner()
+    if name == "dagP":
+        return DagPPartitioner()
+    raise KeyError(name)
+
+
+_PARTITION_CACHE: Dict[Tuple[int, str, str, int], Partition] = {}
+
+
+def partition_cached(
+    circuit: QuantumCircuit, strategy: str, limit: int, base_qubits: int
+) -> Partition:
+    """Partition with memoisation across experiments in one process."""
+    key = (base_qubits, circuit.name, strategy, limit)
+    part = _PARTITION_CACHE.get(key)
+    if part is None:
+        part = make_partitioner(strategy).partition(circuit, limit)
+        _PARTITION_CACHE[key] = part
+    return part

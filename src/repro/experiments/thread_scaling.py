@@ -1,0 +1,84 @@
+"""Sec. V-A text — single-node OpenMP strong scaling.
+
+"HiSVSIM exhibits a close-to-linear speedup in this strong scaling case"
+for 2..128 threads.  The thread model lives in
+:class:`~repro.runtime.machine.MachineModel`; this experiment sweeps
+thread counts over one circuit's hierarchical execution model and reports
+speedup and parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.tables import render_table
+from ..cachesim.hierarchy import analyze_sweeps
+from ..cachesim.trace import sweeps_for_partition
+from ..circuits.generators import build
+from ..runtime.machine import WORKSTATION_LIKE
+from .common import Scale, make_partitioner
+
+__all__ = ["ThreadScalingResult", "run", "PAPER_THREADS"]
+
+PAPER_THREADS = (2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class ThreadScalingRow:
+    threads: int
+    seconds: float
+    speedup: float
+    efficiency: float
+
+
+@dataclass
+class ThreadScalingResult:
+    circuit: str
+    rows: List[ThreadScalingRow]
+
+    def table(self) -> str:
+        return render_table(
+            ["threads", "time (s)", "speedup", "efficiency"],
+            [
+                (r.threads, round(r.seconds, 3), round(r.speedup, 2), round(r.efficiency, 2))
+                for r in self.rows
+            ],
+            title=f"Single-node thread scaling ({self.circuit})",
+        )
+
+
+def run(
+    circuit_name: str = "bv",
+    num_qubits: int = 30,
+    limit: int = 16,
+    threads: Optional[List[int]] = None,
+    scale: Optional[Scale] = None,
+) -> ThreadScalingResult:
+    del scale
+    threads = list(threads or (1,) + PAPER_THREADS)
+    circuit = build(circuit_name, num_qubits)
+    partition = make_partitioner("dagP").partition(circuit, limit)
+    events = sweeps_for_partition(circuit, partition)
+    rows: List[ThreadScalingRow] = []
+    base = None
+    for t in threads:
+        machine = WORKSTATION_LIKE.with_threads(t)
+        prof = analyze_sweeps(
+            events,
+            l1_bytes=machine.l1_bytes,
+            l2_bytes=machine.l2_bytes,
+            l3_bytes=machine.l3_bytes,
+        )
+        secs = prof.execution_seconds(machine)
+        if base is None:
+            base = secs
+        rows.append(
+            ThreadScalingRow(
+                threads=t,
+                seconds=secs,
+                speedup=base / secs if secs > 0 else 0.0,
+                efficiency=(base / secs) / t if secs > 0 else 0.0,
+            )
+        )
+    return ThreadScalingResult(circuit=f"{circuit_name}_{num_qubits}", rows=rows)

@@ -1,0 +1,22 @@
+"""Hybrid HiSVSIM + GPU-simulator estimation (paper Sec. VI)."""
+
+from .gpu_model import V100, GPUModel
+from .hyquas import (
+    GPU_CLUSTER,
+    HybridEstimate,
+    HyQuasChunkPartitioner,
+    PartBreakdownRow,
+    estimate_hybrid,
+    estimate_hyquas_baseline,
+)
+
+__all__ = [
+    "GPUModel",
+    "V100",
+    "GPU_CLUSTER",
+    "HybridEstimate",
+    "HyQuasChunkPartitioner",
+    "PartBreakdownRow",
+    "estimate_hybrid",
+    "estimate_hyquas_baseline",
+]

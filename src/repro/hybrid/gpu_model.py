@@ -1,0 +1,50 @@
+"""GPU kernel time model (Sec. VI substitute for a physical V100).
+
+HyQuas executes chunks of gates with fused shared-memory kernels
+(OShareMem / TransMM); end-to-end it moves the local state through HBM a
+few times per *group* of gates rather than once per gate.  The model
+captures that with an effective fusion factor: a part of ``G`` gates on a
+``2^l`` local state costs ``ceil(G / fusion)`` HBM sweeps plus per-kernel
+launch overhead, floored by arithmetic throughput.  Constants are V100-ish
+(900 GB/s HBM2, ~7 TFLOP/s FP64) and land Table III's part times in the
+paper's 100–200 ms range at 26 local qubits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..circuits.gates import Gate
+from ..sv.kernels import flops_for_gate
+
+__all__ = ["GPUModel", "V100"]
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Single-GPU performance parameters."""
+
+    hbm_bw: float = 900e9
+    flops: float = 7e12
+    kernel_launch: float = 8e-6
+    fusion: float = 8.0
+
+    def part_time(self, num_local_qubits: int, gates: Sequence[Gate]) -> float:
+        """Seconds to execute one part's gate list on the local state."""
+        if not gates:
+            return 0.0
+        l = num_local_qubits
+        sweeps = math.ceil(len(gates) / self.fusion)
+        sweep_bytes = 2.0 * 16.0 * (1 << l)
+        mem_time = sweeps * sweep_bytes / self.hbm_bw
+        total_flops = float(
+            sum(flops_for_gate(g.num_qubits, l, g.is_diagonal) for g in gates)
+        )
+        flop_time = total_flops / self.flops
+        return max(mem_time, flop_time) + self.kernel_launch * sweeps
+
+
+V100 = GPUModel()
+"""NVIDIA V100-PCIE-16GB flavoured defaults (the paper's Sec. VI GPUs)."""

@@ -1,0 +1,181 @@
+"""Partitioning framework: result types and the strategy interface.
+
+A :class:`Partition` is the contract between partitioners and executors:
+parts appear in a **topological execution order** (the acyclicity the paper
+requires), every gate appears in exactly one part (in original circuit
+order inside its part), and every part's working set fits the qubit limit.
+:meth:`Partition.from_assignment` normalises any raw gate->part assignment
+into that shape, raising if the quotient graph is cyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+
+__all__ = ["Part", "Partition", "Partitioner", "gate_dependency_edges", "PartitionError"]
+
+
+class PartitionError(ValueError):
+    """Raised when an assignment cannot form a valid acyclic partition."""
+
+
+@dataclass(frozen=True)
+class Part:
+    """One sub-circuit: gate indices (circuit order) and its working set."""
+
+    gate_indices: Tuple[int, ...]
+    qubits: Tuple[int, ...]
+
+    @property
+    def working_set_size(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gate_indices)
+
+    @property
+    def qmask(self) -> int:
+        m = 0
+        for q in self.qubits:
+            m |= 1 << q
+        return m
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered acyclic partition of a circuit's gates."""
+
+    num_qubits: int
+    num_gates: int
+    limit: int
+    strategy: str
+    parts: Tuple[Part, ...]
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    def assignment(self) -> List[int]:
+        """gate index -> part index."""
+        a = [-1] * self.num_gates
+        for p, part in enumerate(self.parts):
+            for g in part.gate_indices:
+                a[g] = p
+        return a
+
+    def max_working_set(self) -> int:
+        return max((p.working_set_size for p in self.parts), default=0)
+
+    def gates_per_part(self) -> List[int]:
+        return [p.num_gates for p in self.parts]
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_assignment(
+        circuit: QuantumCircuit,
+        assignment: Sequence[int],
+        limit: int,
+        strategy: str,
+        enforce_limit: bool = True,
+    ) -> "Partition":
+        """Normalise a raw gate->part map into an ordered valid partition.
+
+        Parts are renumbered into a topological order of the quotient graph
+        (stable: ties broken by smallest member gate index).  Raises
+        :class:`PartitionError` on cyclic quotients, uncovered gates or
+        working-set violations.
+        """
+        n_gates = len(circuit)
+        if len(assignment) != n_gates:
+            raise PartitionError("assignment length != gate count")
+        if n_gates == 0:
+            return Partition(circuit.num_qubits, 0, limit, strategy, ())
+        raw_ids = sorted(set(assignment))
+        if any(a < 0 for a in raw_ids):
+            raise PartitionError("unassigned gate (negative part id)")
+        remap = {r: i for i, r in enumerate(raw_ids)}
+        k = len(raw_ids)
+        members: List[List[int]] = [[] for _ in range(k)]
+        for g, a in enumerate(assignment):
+            members[remap[a]].append(g)
+
+        # Quotient graph over qubit-timeline edges.
+        adj: List[Set[int]] = [set() for _ in range(k)]
+        for u, v in gate_dependency_edges(circuit):
+            pu, pv = remap[assignment[u]], remap[assignment[v]]
+            if pu != pv:
+                adj[pu].add(pv)
+        order = _toposort_quotient(adj, members)
+        if order is None:
+            raise PartitionError(f"{strategy}: quotient graph is cyclic")
+
+        parts: List[Part] = []
+        for pid in order:
+            gs = sorted(members[pid])
+            qubits: Set[int] = set()
+            for g in gs:
+                qubits.update(circuit[g].qubits)
+            if enforce_limit and len(qubits) > limit:
+                raise PartitionError(
+                    f"{strategy}: part working set {len(qubits)} exceeds "
+                    f"limit {limit}"
+                )
+            parts.append(Part(tuple(gs), tuple(sorted(qubits))))
+        return Partition(
+            num_qubits=circuit.num_qubits,
+            num_gates=n_gates,
+            limit=limit,
+            strategy=strategy,
+            parts=tuple(parts),
+        )
+
+
+def gate_dependency_edges(circuit: QuantumCircuit) -> List[Tuple[int, int]]:
+    """Qubit-timeline dependency edges (u before v, sharing a qubit)."""
+    last: Dict[int, int] = {}
+    edges: List[Tuple[int, int]] = []
+    for i, g in enumerate(circuit):
+        for q in g.qubits:
+            if q in last:
+                edges.append((last[q], i))
+            last[q] = i
+    return edges
+
+
+def _toposort_quotient(
+    adj: List[Set[int]], members: List[List[int]]
+) -> Optional[List[int]]:
+    """Topological order of part ids, ties by earliest member gate."""
+    import heapq
+
+    k = len(adj)
+    indeg = [0] * k
+    for u in range(k):
+        for v in adj[u]:
+            indeg[v] += 1
+    key = [min(m) if m else 0 for m in members]
+    heap = [(key[v], v) for v in range(k) if indeg[v] == 0]
+    heapq.heapify(heap)
+    order: List[int] = []
+    while heap:
+        _, u = heapq.heappop(heap)
+        order.append(u)
+        for v in adj[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                heapq.heappush(heap, (key[v], v))
+    return order if len(order) == k else None
+
+
+class Partitioner(Protocol):
+    """Strategy interface: circuit + qubit limit -> :class:`Partition`."""
+
+    name: str
+
+    def partition(self, circuit: QuantumCircuit, limit: int) -> Partition:
+        ...  # pragma: no cover - protocol

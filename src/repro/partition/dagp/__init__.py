@@ -1,0 +1,18 @@
+"""dagP: multilevel acyclic DAG partitioning (coarsen / bisect / refine / merge)."""
+
+from .bisect import bisection_cost, initial_bisection
+from .coarsen import coarsen, coarsen_once
+from .driver import DagPPartitioner
+from .refine import RefineState, refine_bisection
+from .subdag import SubDag
+
+__all__ = [
+    "DagPPartitioner",
+    "SubDag",
+    "bisection_cost",
+    "coarsen",
+    "coarsen_once",
+    "initial_bisection",
+    "refine_bisection",
+    "RefineState",
+]

@@ -1,0 +1,140 @@
+"""Working graph for the dagP partitioner.
+
+A :class:`SubDag` is the induced dependency graph over a subset of a
+circuit's gates (or, after coarsening, over clusters of gates).  Edges are
+deduplicated qubit-timeline dependencies; every node carries a qubit
+bitmask and a weight (= number of original gates it represents), so
+working-set sizes are popcounts and balance is weight arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ...circuits.circuit import QuantumCircuit
+from ..base import gate_dependency_edges
+
+__all__ = ["SubDag"]
+
+
+class SubDag:
+    """Induced, deduplicated gate-dependency DAG over clusters of gates."""
+
+    __slots__ = ("gate_ids", "qmask", "weight", "succ", "pred")
+
+    def __init__(
+        self,
+        gate_ids: List[List[int]],
+        qmask: List[int],
+        weight: List[int],
+        succ: List[List[int]],
+        pred: List[List[int]],
+    ) -> None:
+        self.gate_ids = gate_ids  # per node: original gate indices
+        self.qmask = qmask
+        self.weight = weight
+        self.succ = succ
+        self.pred = pred
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_circuit(
+        cls, circuit: QuantumCircuit, gates: Sequence[int] | None = None
+    ) -> "SubDag":
+        """Induced sub-DAG over ``gates`` (default: every gate)."""
+        if gates is None:
+            gates = range(len(circuit))
+        gates = sorted(gates)
+        local: Dict[int, int] = {g: i for i, g in enumerate(gates)}
+        n = len(gates)
+        succ: List[List[int]] = [[] for _ in range(n)]
+        pred: List[List[int]] = [[] for _ in range(n)]
+        seen = set()
+        for u, v in gate_dependency_edges(circuit):
+            if u in local and v in local and (u, v) not in seen:
+                seen.add((u, v))
+                succ[local[u]].append(local[v])
+                pred[local[v]].append(local[u])
+        qmask = [
+            sum(1 << q for q in circuit[g].qubits) for g in gates
+        ]
+        return cls(
+            gate_ids=[[g] for g in gates],
+            qmask=qmask,
+            weight=[1] * n,
+            succ=succ,
+            pred=pred,
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.qmask)
+
+    def total_weight(self) -> int:
+        return sum(self.weight)
+
+    def working_set_mask(self) -> int:
+        m = 0
+        for q in self.qmask:
+            m |= q
+        return m
+
+    def working_set_size(self) -> int:
+        return self.working_set_mask().bit_count()
+
+    def topological_order(self, priority: Sequence[float] | None = None) -> List[int]:
+        """Kahn order with optional tie-break priorities (lower first)."""
+        import heapq
+
+        n = self.num_nodes
+        indeg = [len(self.pred[v]) for v in range(n)]
+        if priority is None:
+            priority = list(range(n))
+        heap = [(priority[v], v) for v in range(n) if indeg[v] == 0]
+        heapq.heapify(heap)
+        order: List[int] = []
+        while heap:
+            _, v = heapq.heappop(heap)
+            order.append(v)
+            for w in self.succ[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    heapq.heappush(heap, (priority[w], w))
+        if len(order) != n:
+            raise ValueError("SubDag contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except ValueError:
+            return False
+
+    # -- contraction ---------------------------------------------------------
+
+    def contract(self, cluster_of: Sequence[int], num_clusters: int) -> "SubDag":
+        """Quotient graph under a node->cluster map (edges deduplicated)."""
+        gate_ids: List[List[int]] = [[] for _ in range(num_clusters)]
+        qmask = [0] * num_clusters
+        weight = [0] * num_clusters
+        for v in range(self.num_nodes):
+            c = cluster_of[v]
+            gate_ids[c].extend(self.gate_ids[v])
+            qmask[c] |= self.qmask[v]
+            weight[c] += self.weight[v]
+        succ: List[List[int]] = [[] for _ in range(num_clusters)]
+        pred: List[List[int]] = [[] for _ in range(num_clusters)]
+        seen = set()
+        for u in range(self.num_nodes):
+            cu = cluster_of[u]
+            for v in self.succ[u]:
+                cv = cluster_of[v]
+                if cu != cv and (cu, cv) not in seen:
+                    seen.add((cu, cv))
+                    succ[cu].append(cv)
+                    pred[cv].append(cu)
+        return SubDag(gate_ids, qmask, weight, succ, pred)

@@ -1,0 +1,88 @@
+"""``DFS``: best-of-k random DFS topological-order cutoff (Sec. IV-B2).
+
+``Nat`` falls short when the written gate order interleaves many qubits.
+``DFS`` samples several randomised depth-first topological orders — a LIFO
+ready-stack with shuffled tie-breaking keeps related gates (same qubit
+chains) adjacent — applies the same working-set cutoff to each, and keeps
+the order producing the fewest parts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .base import Partition, gate_dependency_edges
+from .natural import cutoff_assignment
+
+__all__ = ["DFSPartitioner", "random_dfs_topological_order"]
+
+
+def random_dfs_topological_order(
+    num_gates: int,
+    edges: List[Tuple[int, int]],
+    rng: random.Random,
+) -> List[int]:
+    """A randomised DFS-flavoured topological order of gate indices.
+
+    Newly-enabled successors are pushed (in shuffled order) onto a LIFO
+    stack, so each emitted gate tends to be followed by gates it feeds —
+    the depth-first behaviour the paper exploits for locality.
+    """
+    succ: List[List[int]] = [[] for _ in range(num_gates)]
+    indeg = [0] * num_gates
+    for u, v in edges:
+        succ[u].append(v)
+        indeg[v] += 1
+    roots = [v for v in range(num_gates) if indeg[v] == 0]
+    rng.shuffle(roots)
+    stack = roots
+    order: List[int] = []
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        ready = []
+        for w in succ[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+        rng.shuffle(ready)
+        stack.extend(ready)
+    if len(order) != num_gates:
+        raise ValueError("dependency graph has a cycle")
+    return order
+
+
+class DFSPartitioner:
+    """The paper's ``DFS`` strategy.
+
+    Parameters
+    ----------
+    trials:
+        Number of random orders sampled (paper: "several"; default 8).
+    seed:
+        Base RNG seed; trial ``t`` uses ``seed + t`` for reproducibility.
+    """
+
+    name = "DFS"
+
+    def __init__(self, trials: int = 8, seed: int = 1) -> None:
+        if trials < 1:
+            raise ValueError("trials must be >= 1")
+        self.trials = trials
+        self.seed = seed
+
+    def partition(self, circuit: QuantumCircuit, limit: int) -> Partition:
+        qmasks = [sum(1 << q for q in g.qubits) for g in circuit]
+        edges = gate_dependency_edges(circuit)
+        best: Partition | None = None
+        for t in range(self.trials):
+            rng = random.Random(self.seed + t)
+            order = random_dfs_topological_order(len(circuit), edges, rng)
+            assignment = cutoff_assignment(qmasks, order, limit)
+            cand = Partition.from_assignment(circuit, assignment, limit, self.name)
+            if best is None or cand.num_parts < best.num_parts:
+                best = cand
+        assert best is not None
+        return best

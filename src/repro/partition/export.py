@@ -1,0 +1,79 @@
+"""Part-file export (the paper's Sec. VI hybrid workflow).
+
+The GPU extrapolation experiment "partitions the circuit into parts and
+remaps the qubits in each part to model the reordering inside the local
+state vector … then modifies the total qubit number in each part file to
+fit in the computation model".  :func:`export_parts` performs exactly
+those steps: each part becomes a standalone OpenQASM file over a compact
+register of ``local_qubits`` qubits, with the part's working set remapped
+to slots ``0..w-1`` (the gather order the executor uses), ready to feed an
+external simulator such as HyQuas.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.qasm import dumps
+from .base import Partition
+
+__all__ = ["PartFile", "export_parts", "part_subcircuit"]
+
+
+@dataclass(frozen=True)
+class PartFile:
+    """One exported part: its remapped circuit and the slot map used."""
+
+    index: int
+    circuit: QuantumCircuit
+    qubit_map: Dict[int, int]  # global qubit -> local slot
+    qasm: str
+
+
+def part_subcircuit(
+    circuit: QuantumCircuit,
+    partition: Partition,
+    index: int,
+    local_qubits: Optional[int] = None,
+) -> PartFile:
+    """Build the remapped sub-circuit for one part.
+
+    ``local_qubits`` widens the register to the target simulator's local
+    model (defaults to the part's working-set size).
+    """
+    part = partition.parts[index]
+    mapping = {q: i for i, q in enumerate(part.qubits)}
+    width = local_qubits if local_qubits is not None else len(part.qubits)
+    if width < len(part.qubits):
+        raise ValueError(
+            f"part {index} needs {len(part.qubits)} qubits; "
+            f"local model has {width}"
+        )
+    sub = QuantumCircuit(width, name=f"{circuit.name}_part{index}")
+    for g in part.gate_indices:
+        sub.append(circuit[g].remap(mapping))
+    return PartFile(index=index, circuit=sub, qubit_map=mapping, qasm=dumps(sub))
+
+
+def export_parts(
+    circuit: QuantumCircuit,
+    partition: Partition,
+    directory: Optional[str] = None,
+    local_qubits: Optional[int] = None,
+) -> List[PartFile]:
+    """Export every part; optionally write ``part_<i>.qasm`` files."""
+    files = [
+        part_subcircuit(circuit, partition, i, local_qubits)
+        for i in range(partition.num_parts)
+    ]
+    if directory is not None:
+        os.makedirs(directory, exist_ok=True)
+        width = max(3, len(str(max(0, partition.num_parts - 1))))
+        for pf in files:
+            path = os.path.join(directory, f"part_{pf.index:0{width}d}.qasm")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(pf.qasm)
+    return files

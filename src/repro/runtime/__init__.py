@@ -1,0 +1,15 @@
+"""Simulated cluster runtime: machine model, virtual communicator, metrics."""
+
+from .comm import SimComm
+from .machine import FRONTERA_LIKE, WORKSTATION_LIKE, MachineModel
+from .metrics import CommStats, ComputeStats, RunReport
+
+__all__ = [
+    "SimComm",
+    "MachineModel",
+    "FRONTERA_LIKE",
+    "WORKSTATION_LIKE",
+    "CommStats",
+    "ComputeStats",
+    "RunReport",
+]

@@ -1,0 +1,46 @@
+"""State-vector engines: kernels, flat simulator, hierarchical executor."""
+
+from .hier import ExecutionTrace, HierarchicalExecutor, pad_working_set
+from .kernels import (
+    apply_circuit,
+    apply_gate,
+    apply_gate_batched,
+    apply_gate_reference,
+    apply_matrix,
+    bytes_touched_for_gate,
+    flops_for_gate,
+)
+from .layout import (
+    QubitLayout,
+    axis_of_qubit,
+    extract_bits,
+    gather_index_table,
+    permute_bits,
+    spread_bits,
+)
+from .pauli import energy, pauli_expectation
+from .simulator import StateVectorSimulator, random_state, zero_state
+
+__all__ = [
+    "ExecutionTrace",
+    "HierarchicalExecutor",
+    "pad_working_set",
+    "apply_circuit",
+    "apply_gate",
+    "apply_gate_batched",
+    "apply_gate_reference",
+    "apply_matrix",
+    "bytes_touched_for_gate",
+    "flops_for_gate",
+    "QubitLayout",
+    "axis_of_qubit",
+    "extract_bits",
+    "gather_index_table",
+    "permute_bits",
+    "spread_bits",
+    "energy",
+    "pauli_expectation",
+    "StateVectorSimulator",
+    "random_state",
+    "zero_state",
+]

@@ -1,0 +1,143 @@
+"""Hierarchical Gather-Execute-Scatter execution (Algorithm 1, Sec. III-C).
+
+For each part: build inner state vectors over the part's working set,
+execute the part's gates on them, scatter results back.  Two engines:
+
+* ``mode="batched"`` (default): the gather index table turns the outer
+  state into a ``(2^(n-w), 2^w)`` matrix whose rows are all the inner
+  state vectors at once; gates run batched across rows.  Numerically
+  identical to the literal loop, dramatically faster in numpy.
+* ``mode="literal"``: the paper's loop — one inner state vector per
+  combination of non-part qubits — kept for validation and cache tracing.
+
+Working sets may be padded with extra qubits (``pad_to``) to exploit
+spatial locality, mirroring the paper's "add the qubits from the higher
+level part" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from ..partition.base import Partition
+from .kernels import apply_gate, apply_gate_batched
+from .layout import gather_index_table
+
+__all__ = ["HierarchicalExecutor", "ExecutionTrace", "pad_working_set"]
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-part accounting collected during a hierarchical run."""
+
+    part_qubits: List[Tuple[int, ...]] = field(default_factory=list)
+    part_gates: List[int] = field(default_factory=list)
+    gather_elements: int = 0
+    scatter_elements: int = 0
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.part_gates)
+
+
+def pad_working_set(
+    qubits: Sequence[int], num_qubits: int, pad_to: int
+) -> Tuple[int, ...]:
+    """Extend a working set to ``pad_to`` qubits with the lowest free qubits.
+
+    Larger inner vectors amortise gather/scatter sweeps; the paper pads
+    small parts up to the level limit for spatial locality.
+    """
+    out = list(qubits)
+    have = set(out)
+    q = 0
+    while len(out) < min(pad_to, num_qubits) and q < num_qubits:
+        if q not in have:
+            out.append(q)
+            have.add(q)
+        q += 1
+    return tuple(sorted(out))
+
+
+def _remap_gates(
+    circuit: QuantumCircuit, gate_indices: Sequence[int], inner_qubits: Sequence[int]
+) -> List[Gate]:
+    """Part gates with operands renamed to inner positions."""
+    pos: Dict[int, int] = {q: i for i, q in enumerate(inner_qubits)}
+    return [circuit[g].remap(pos) for g in gate_indices]
+
+
+class HierarchicalExecutor:
+    """Runs a partitioned circuit against a full state vector.
+
+    Parameters
+    ----------
+    mode:
+        ``"batched"`` or ``"literal"`` (see module docstring).
+    pad_to:
+        Pad each part's working set to this many qubits (0 = no padding).
+    """
+
+    def __init__(self, mode: str = "batched", pad_to: int = 0) -> None:
+        if mode not in ("batched", "literal"):
+            raise ValueError("mode must be 'batched' or 'literal'")
+        self.mode = mode
+        self.pad_to = pad_to
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        partition: Partition,
+        state: np.ndarray,
+        trace: Optional[ExecutionTrace] = None,
+    ) -> np.ndarray:
+        """Execute all parts in order against ``state`` (in place)."""
+        n = circuit.num_qubits
+        if state.shape != (1 << n,):
+            raise ValueError("state length mismatch")
+        if partition.num_qubits != n or partition.num_gates != len(circuit):
+            raise ValueError("partition does not describe this circuit")
+        for part in partition.parts:
+            inner_qubits = part.qubits
+            if self.pad_to:
+                inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
+            self._run_part(circuit, part.gate_indices, inner_qubits, state, n, trace)
+        return state
+
+    # -- internals --------------------------------------------------------
+
+    def _run_part(
+        self,
+        circuit: QuantumCircuit,
+        gate_indices: Sequence[int],
+        inner_qubits: Sequence[int],
+        state: np.ndarray,
+        n: int,
+        trace: Optional[ExecutionTrace],
+    ) -> None:
+        w = len(inner_qubits)
+        gates = _remap_gates(circuit, gate_indices, inner_qubits)
+        table = gather_index_table(n, inner_qubits)
+        if self.mode == "batched":
+            # Gather every inner state vector at once: rows of a matrix.
+            inner = state[table]  # (2^(n-w), 2^w) copy
+            for g in gates:
+                apply_gate_batched(inner, g, w)
+            state[table] = inner
+        else:
+            # Algorithm 1 verbatim: one inner vector per outer combination.
+            for t in range(table.shape[0]):
+                in_sv = state[table[t]].copy()
+                for g in gates:
+                    apply_gate(in_sv, g, w)
+                state[table[t]] = in_sv
+        if trace is not None:
+            trace.part_qubits.append(tuple(inner_qubits))
+            trace.part_gates.append(len(gates))
+            trace.gather_elements += table.size
+            trace.scatter_elements += table.size

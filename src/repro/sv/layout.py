@@ -1,0 +1,169 @@
+"""Bit-level index math shared by every simulator component.
+
+State-vector indices are little-endian: bit ``k`` of a flat index is qubit
+``k``.  A C-ordered tensor view ``state.reshape((2,)*n)`` therefore puts
+qubit ``q`` on axis ``n - 1 - q`` (:func:`axis_of_qubit`).
+
+The distributed engine describes data layouts as **bit permutations**; the
+helpers here (``spread_bits`` / ``extract_bits`` / ``permute_bits``) are the
+vectorised primitives used to build gather indices and exchange plans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "axis_of_qubit",
+    "spread_bits",
+    "extract_bits",
+    "permute_bits",
+    "gather_index_table",
+    "QubitLayout",
+]
+
+
+def axis_of_qubit(n: int, q: int) -> int:
+    """Tensor-view axis of qubit ``q`` in an ``n``-qubit C-ordered view."""
+    if not 0 <= q < n:
+        raise ValueError(f"qubit {q} out of range for n={n}")
+    return n - 1 - q
+
+
+def spread_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Scatter compact bits into arbitrary positions.
+
+    Bit ``i`` of each value is placed at ``positions[i]`` of the result
+    (a vectorised PDEP).  Positions must be distinct.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    out = np.zeros_like(values)
+    for i, pos in enumerate(positions):
+        out |= ((values >> i) & 1) << int(pos)
+    return out
+
+
+def extract_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
+    """Gather bits from arbitrary positions into a compact value.
+
+    Bit at ``positions[i]`` of each value becomes bit ``i`` of the result
+    (a vectorised PEXT).  Inverse of :func:`spread_bits` on its image.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    out = np.zeros_like(values)
+    for i, pos in enumerate(positions):
+        out |= ((values >> int(pos)) & 1) << i
+    return out
+
+
+def permute_bits(values: np.ndarray, sigma: Sequence[int]) -> np.ndarray:
+    """Apply a bit permutation: bit ``j`` of input moves to bit ``sigma[j]``.
+
+    ``sigma`` must be a permutation of ``range(len(sigma))``; bits above
+    ``len(sigma)`` must be zero in ``values``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    out = np.zeros_like(values)
+    for j, dst in enumerate(sigma):
+        out |= ((values >> j) & 1) << int(dst)
+    return out
+
+
+def gather_index_table(n: int, inner_qubits: Sequence[int]) -> np.ndarray:
+    """Index table realising Algorithm 1's Gather.
+
+    Returns an int64 array of shape ``(2^(n-w), 2^w)`` where row ``t`` holds
+    the flat outer-state indices of inner state vector ``t``: column ``j``
+    fixes the non-inner qubits to the bits of ``t`` and the inner qubits
+    (in the given order, first = least significant of ``j``) to the bits of
+    ``j``.  ``out_sv[table[t]]`` *is* the ``t``-th inner state vector.
+    """
+    inner = list(inner_qubits)
+    if len(set(inner)) != len(inner):
+        raise ValueError("inner qubits must be distinct")
+    outer = [q for q in range(n) if q not in set(inner)]
+    w = len(inner)
+    t_vals = spread_bits(np.arange(1 << (n - w), dtype=np.int64), outer)
+    j_vals = spread_bits(np.arange(1 << w, dtype=np.int64), inner)
+    return t_vals[:, None] + j_vals[None, :]
+
+
+class QubitLayout:
+    """A bijection qubit -> bit position describing a data layout.
+
+    Position ``p`` means "bit ``p`` of the packed storage index".  In the
+    distributed setting positions ``>= local_bits`` address the rank and the
+    rest address the offset within the rank's shard (Sec. III-D).
+    """
+
+    __slots__ = ("n", "_pos_of_qubit", "_qubit_at_pos")
+
+    def __init__(self, positions: Sequence[int]):
+        pos = [int(p) for p in positions]
+        n = len(pos)
+        if sorted(pos) != list(range(n)):
+            raise ValueError("positions must be a permutation of range(n)")
+        self.n = n
+        self._pos_of_qubit: Tuple[int, ...] = tuple(pos)
+        inv = [0] * n
+        for q, p in enumerate(pos):
+            inv[p] = q
+        self._qubit_at_pos: Tuple[int, ...] = tuple(inv)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "QubitLayout":
+        return cls(range(n))
+
+    # -- queries ----------------------------------------------------------
+
+    def position(self, qubit: int) -> int:
+        return self._pos_of_qubit[qubit]
+
+    def qubit_at(self, position: int) -> int:
+        return self._qubit_at_pos[position]
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        """``positions[q]`` = bit position of qubit ``q``."""
+        return self._pos_of_qubit
+
+    def qubits_in_positions(self, lo: int, hi: int) -> List[int]:
+        """Qubits stored at positions ``lo..hi-1`` (ascending position)."""
+        return [self._qubit_at_pos[p] for p in range(lo, hi)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QubitLayout):
+            return NotImplemented
+        return self._pos_of_qubit == other._pos_of_qubit
+
+    def __hash__(self) -> int:
+        return hash(self._pos_of_qubit)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QubitLayout({list(self._pos_of_qubit)})"
+
+    # -- algebra ----------------------------------------------------------
+
+    def transition_sigma(self, new: "QubitLayout") -> List[int]:
+        """Position-to-position map realising a layout change.
+
+        Returns ``sigma`` with ``sigma[p] = new position of the qubit
+        currently at position p`` — feed to :func:`permute_bits` to map old
+        packed indices to new packed indices.
+        """
+        if new.n != self.n:
+            raise ValueError("layout size mismatch")
+        return [new._pos_of_qubit[self._qubit_at_pos[p]] for p in range(self.n)]
+
+    def logical_index(self, packed: np.ndarray) -> np.ndarray:
+        """Map packed storage indices to logical basis-state indices."""
+        # bit at position p belongs to qubit qubit_at(p): move p -> qubit.
+        return permute_bits(packed, self._qubit_at_pos)
+
+    def packed_index(self, logical: np.ndarray) -> np.ndarray:
+        """Map logical basis-state indices to packed storage indices."""
+        return permute_bits(logical, self._pos_of_qubit)

@@ -1,0 +1,88 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_DEFS, make_gate
+
+
+# Families usable at a given small width, for parametrised suite tests.
+SUITE_SMALL = [
+    ("cat_state", 8),
+    ("bv", 8),
+    ("qaoa", 8),
+    ("cc", 8),
+    ("ising", 8),
+    ("qft", 7),
+    ("qnn", 8),
+    ("grover", 9),
+    ("qpe", 7),
+    ("adder", 8),
+]
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    max_arity: int = 3,
+    gate_pool: Optional[List[str]] = None,
+) -> QuantumCircuit:
+    """Deterministic random circuit over the full gate vocabulary."""
+    rng = random.Random(seed)
+    if gate_pool is None:
+        gate_pool = [
+            name
+            for name, d in GATE_DEFS.items()
+            if d.num_qubits <= min(max_arity, num_qubits)
+        ]
+    qc = QuantumCircuit(num_qubits, name=f"random_{seed}")
+    for _ in range(num_gates):
+        name = rng.choice(gate_pool)
+        d = GATE_DEFS[name]
+        qubits = rng.sample(range(num_qubits), d.num_qubits)
+        params = tuple(rng.uniform(0, 2 * math.pi) for _ in range(d.num_params))
+        qc.append(make_gate(name, qubits, params))
+    return qc
+
+
+def full_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense 2^n x 2^n unitary of a circuit via kron expansion.
+
+    Independent of the simulator kernels (used to validate them): builds
+    each gate's full-space matrix by explicit basis-state index mapping.
+    """
+    n = circuit.num_qubits
+    dim = 1 << n
+    total = np.eye(dim, dtype=np.complex128)
+    for gate in circuit:
+        m = gate.matrix()
+        qs = gate.qubits
+        k = len(qs)
+        big = np.zeros((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            j = 0
+            for i, q in enumerate(qs):
+                j |= ((col >> q) & 1) << i
+            rest = col
+            for q in qs:
+                rest &= ~(1 << q)
+            for jp in range(1 << k):
+                row = rest
+                for i, q in enumerate(qs):
+                    row |= ((jp >> i) & 1) << q
+                big[row, col] = m[jp, j]
+        total = big @ total
+    return total
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

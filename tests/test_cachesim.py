@@ -1,0 +1,190 @@
+"""Cache model tests: exact LRU simulator, hierarchy, analytic sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim.cache import CacheLevel
+from repro.cachesim.hierarchy import (
+    CacheHierarchy,
+    SweepEvent,
+    analyze_sweeps,
+)
+from repro.cachesim.trace import (
+    line_trace_flat,
+    line_trace_hierarchical,
+    sweeps_for_flat,
+    sweeps_for_partition,
+)
+from repro.circuits import generators
+from repro.partition import get_partitioner
+from repro.runtime.machine import WORKSTATION_LIKE
+
+
+class TestCacheLevel:
+    def test_hit_after_fill(self):
+        c = CacheLevel(1024, line_bytes=64, assoc=2)
+        assert not c.access_line(0)
+        assert c.access_line(0)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct tag in a set evicts the LRU one.
+        c = CacheLevel(2 * 64, line_bytes=64, assoc=2)  # 1 set, 2 ways
+        c.access_line(0)
+        c.access_line(1)
+        c.access_line(0)  # refresh 0; LRU is now 1
+        c.access_line(2)  # evicts 1
+        assert c.access_line(0)  # still resident
+        assert not c.access_line(1)  # was evicted
+
+    def test_capacity_sized_working_set_all_hits_second_pass(self):
+        c = CacheLevel(64 * 1024, line_bytes=64, assoc=8)
+        lines = list(range(1024))  # exactly 64 KB of lines
+        c.access_stream(lines)
+        stats = c.access_stream(lines)
+        assert stats["misses"] == 0
+
+    def test_oversized_working_set_thrashes(self):
+        c = CacheLevel(64 * 64, line_bytes=64, assoc=64)  # fully assoc, 64 lines
+        lines = list(range(128))
+        c.access_stream(lines)
+        stats = c.access_stream(lines)  # sequential LRU thrash: all miss
+        assert stats["misses"] == 128
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheLevel(1000, line_bytes=64, assoc=8)
+
+    def test_access_bytes(self):
+        c = CacheLevel(1024, 64, 2)
+        c.access_bytes(10)
+        assert c.access_bytes(63)  # same line
+        assert not c.access_bytes(64)  # next line
+
+    def test_reset(self):
+        c = CacheLevel(1024, 64, 2)
+        c.access_line(1)
+        c.reset()
+        assert c.hits == 0 and c.misses == 0
+        assert not c.access_line(1)
+
+    def test_hit_rate(self):
+        c = CacheLevel(1024, 64, 2)
+        assert c.hit_rate == 0.0
+        c.access_line(0)
+        c.access_line(0)
+        assert c.hit_rate == 0.5
+
+
+class TestHierarchy:
+    def test_levels_fill_downward(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=512, l3_bytes=2048, assocs=(2, 2, 2))
+        assert h.access_line(0) == "DRAM"
+        assert h.access_line(0) == "L1"
+
+    def test_l2_serves_after_l1_eviction(self):
+        h = CacheHierarchy(l1_bytes=128, l2_bytes=4096, l3_bytes=1 << 16, assocs=(2, 4, 4))
+        lines = list(range(8))  # 512B: exceeds L1 (2 lines), fits L2
+        h.access_stream(lines)
+        served = h.access_stream(lines)
+        assert served["DRAM"] == 0
+        assert served["L2"] > 0 or served["L1"] > 0
+
+    def test_served_bytes_accounting(self):
+        h = CacheHierarchy()
+        h.access_stream(range(10))
+        assert h.served["DRAM"] == 10 * 64
+
+    def test_reset(self):
+        h = CacheHierarchy()
+        h.access_line(5)
+        h.reset()
+        assert all(v == 0 for v in h.served.values())
+
+
+class TestAnalyticModel:
+    def test_residency_levels(self):
+        events = [
+            SweepEvent(working_set_bytes=1024, bytes_moved=100),
+            SweepEvent(working_set_bytes=512 * 1024, bytes_moved=200),
+            SweepEvent(working_set_bytes=16 << 20, bytes_moved=300),
+            SweepEvent(working_set_bytes=1 << 30, bytes_moved=400),
+            SweepEvent(working_set_bytes=1024, bytes_moved=500, cold=True),
+        ]
+        prof = analyze_sweeps(events)
+        assert prof.bytes_per_level["L1"] == 100
+        assert prof.bytes_per_level["L2"] == 200
+        assert prof.bytes_per_level["L3"] == 300
+        assert prof.bytes_per_level["DRAM"] == 900  # oversized + cold
+
+    def test_shares_sum_to_memory_fraction(self):
+        events = [SweepEvent(1024, 1000, flops=1e6)]
+        prof = analyze_sweeps(events)
+        shares = prof.clocktick_shares(WORKSTATION_LIKE)
+        assert sum(shares.values()) == pytest.approx(
+            prof.memory_bound_share(WORKSTATION_LIKE)
+        )
+        assert prof.execution_seconds(WORKSTATION_LIKE) > 0
+
+    def test_empty_profile(self):
+        prof = analyze_sweeps([])
+        assert prof.clocktick_shares(WORKSTATION_LIKE) == {
+            "L1": 0.0,
+            "L2": 0.0,
+            "L3": 0.0,
+            "DRAM": 0.0,
+        }
+
+
+class TestTraces:
+    def _setup(self, n=8, limit=5):
+        qc = generators.build("bv", n)
+        p = get_partitioner("dagP").partition(qc, limit)
+        return qc, p
+
+    def test_sweeps_for_flat_counts(self):
+        qc, _ = self._setup()
+        events = sweeps_for_flat(qc)
+        assert len(events) == len(qc)
+        sv = 16 << qc.num_qubits
+        assert all(e.bytes_moved == 2 * sv for e in events)
+
+    def test_sweeps_for_partition_structure(self):
+        qc, p = self._setup()
+        events = sweeps_for_partition(qc, p)
+        # Per part: gather + scatter (cold) + one sweep per gate.
+        assert len(events) == 2 * p.num_parts + len(qc)
+        assert sum(1 for e in events if e.cold) == 2 * p.num_parts
+
+    def test_hierarchical_sweeps_have_smaller_working_sets(self):
+        qc, p = self._setup()
+        part_events = [e for e in sweeps_for_partition(qc, p) if not e.cold]
+        flat_events = sweeps_for_flat(qc)
+        assert max(e.working_set_bytes for e in part_events) < max(
+            e.working_set_bytes for e in flat_events
+        )
+
+    def test_line_trace_flat_covers_state(self):
+        qc, _ = self._setup(n=6)
+        lines = set(line_trace_flat(qc))
+        sv_lines = (16 << 6) // 64
+        assert lines == set(range(sv_lines))
+
+    def test_line_trace_hier_touches_scratch(self):
+        qc, p = self._setup(n=6, limit=4)
+        lines = set(line_trace_hierarchical(qc, p))
+        sv_lines = (16 << 6) // 64
+        assert set(range(sv_lines)) <= lines
+        assert any(l >= sv_lines for l in lines)  # scratch region
+
+    def test_exact_trace_agrees_with_analytic_ordering(self):
+        """dagP must beat Nat on DRAM traffic in BOTH cache models."""
+        qc = generators.build("ising", 8)
+        small = dict(l1_bytes=256, l2_bytes=1024, l3_bytes=4096, assocs=(2, 4, 4))
+        dram = {}
+        for strategy in ("Nat", "dagP"):
+            p = get_partitioner(strategy).partition(qc, 4)
+            h = CacheHierarchy(**small)
+            h.access_stream(line_trace_hierarchical(qc, p))
+            dram[strategy] = h.served["DRAM"]
+        assert dram["dagP"] <= dram["Nat"]

@@ -1,0 +1,52 @@
+"""CLI driver tests (run in-process through main())."""
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_circuit_stats(self, capsys):
+        assert main(["circuit", "bv", "--qubits", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "qubits=8" in out
+        assert "gates=" in out
+
+    def test_circuit_qasm(self, capsys):
+        assert main(["circuit", "cat_state", "--qubits", "5", "--qasm"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+        assert "qreg q[5];" in out
+
+    def test_experiment_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_experiment_save(self, capsys, monkeypatch, tmp_path):
+        # RESULTS_DIR is read at import time; patch the module constant.
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            "repro.cli.RESULTS_DIR", str(tmp_path), raising=True
+        )
+        assert main(["table4", "--scale", "tiny", "--save"]) == 0
+        files = os.listdir(tmp_path)
+        assert any(f.startswith("table4") for f in files)
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus-command"])
+
+    def test_unknown_circuit_family(self):
+        with pytest.raises(KeyError):
+            main(["circuit", "bogus"])

@@ -1,0 +1,188 @@
+"""DistributedStateVector, exchange planning and analytic accounting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.analytic import LayoutOnlyState, exchange_step_stats
+from repro.dist.exchange import plan_layout_for_part, swap_qubit_positions
+from repro.dist.state import DistributedStateVector
+from repro.runtime.comm import SimComm
+from repro.sv.layout import QubitLayout
+from repro.sv.simulator import random_state
+
+
+@st.composite
+def layouts(draw, n):
+    perm = list(range(n))
+    rnd = draw(st.randoms(use_true_random=False))
+    rnd.shuffle(perm)
+    return QubitLayout(perm)
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        dsv = DistributedStateVector.zero(4, SimComm(4))
+        full = dsv.to_full()
+        assert full[0] == 1 and np.all(full[1:] == 0)
+        assert dsv.local_bits == 2 and dsv.process_bits == 2
+
+    def test_from_full_roundtrip(self):
+        state = random_state(5, seed=1)
+        dsv = DistributedStateVector.from_full(state, SimComm(8))
+        assert np.allclose(dsv.to_full(), state)
+
+    def test_from_full_with_layout(self):
+        state = random_state(4, seed=2)
+        lay = QubitLayout([3, 1, 0, 2])
+        dsv = DistributedStateVector.from_full(state, SimComm(4), layout=lay)
+        assert np.allclose(dsv.to_full(), state)
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            DistributedStateVector.zero(2, SimComm(8))
+
+    def test_queries(self):
+        dsv = DistributedStateVector.zero(4, SimComm(4))
+        assert dsv.local_qubits() == [0, 1]
+        assert dsv.process_qubits() == [2, 3]
+        assert dsv.is_local(0) and not dsv.is_local(3)
+        assert dsv.norm() == pytest.approx(1.0)
+
+
+class TestRemap:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_remap_preserves_logical_state(self, data):
+        n = 5
+        state = random_state(n, seed=7)
+        dsv = DistributedStateVector.from_full(state, SimComm(4))
+        new_layout = data.draw(layouts(n))
+        dsv.remap(new_layout)
+        assert dsv.layout == new_layout
+        assert np.allclose(dsv.to_full(), state, atol=1e-12)
+
+    def test_remap_identity_is_free(self):
+        dsv = DistributedStateVector.zero(4, SimComm(4))
+        dsv.comm.reset_stats()
+        dsv.remap(dsv.layout)
+        assert dsv.comm.stats.steps == 0
+
+    def test_chained_remaps(self):
+        state = random_state(6, seed=8)
+        dsv = DistributedStateVector.from_full(state, SimComm(8))
+        for perm in ([5, 4, 3, 2, 1, 0], [2, 3, 0, 1, 5, 4], [0, 1, 2, 3, 4, 5]):
+            dsv.remap(QubitLayout(perm))
+        assert np.allclose(dsv.to_full(), state, atol=1e-12)
+
+
+class TestPlanLayout:
+    def test_noop_when_already_local(self):
+        lay = QubitLayout.identity(6)
+        out = plan_layout_for_part(lay, [0, 1, 2], local_bits=4)
+        assert out == lay
+
+    def test_brings_working_set_local(self):
+        lay = QubitLayout.identity(6)
+        out = plan_layout_for_part(lay, [4, 5], local_bits=4)
+        assert all(out.position(q) < 4 for q in (4, 5))
+        # Untouched process structure: it is still a permutation.
+        assert sorted(out.positions) == list(range(6))
+
+    def test_minimal_motion(self):
+        lay = QubitLayout.identity(8)
+        out = plan_layout_for_part(lay, [6], local_bits=5)
+        # Exactly one swap: 6 came down, one resident went up.
+        moved = [q for q in range(8) if out.position(q) != lay.position(q)]
+        assert len(moved) == 2 and 6 in moved
+
+    def test_lookahead_prefers_keeping_next_part_qubits(self):
+        lay = QubitLayout.identity(6)
+        out = plan_layout_for_part(
+            lay, [5], local_bits=4, next_part_qubits=[0, 1, 2]
+        )
+        # Evicted qubit should be 3 (local, not needed now or next).
+        assert out.position(3) >= 4
+        assert all(out.position(q) < 4 for q in (0, 1, 2, 5))
+
+    def test_oversized_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            plan_layout_for_part(QubitLayout.identity(6), [0, 1, 2], local_bits=2)
+
+    def test_swap_positions(self):
+        lay = QubitLayout.identity(4)
+        out = swap_qubit_positions(lay, 0, 3)
+        assert out.position(0) == 3 and out.position(3) == 0
+        assert out.position(1) == 1
+
+
+class TestAnalyticExchange:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_simcomm_accounting(self, data):
+        n = 5
+        old = data.draw(layouts(n))
+        new = data.draw(layouts(n))
+        for R in (2, 4, 8):
+            local_bits = n - (R.bit_length() - 1)
+            comm = SimComm(R)
+            dsv = DistributedStateVector.from_full(
+                random_state(n, seed=3), comm, layout=old
+            )
+            comm.reset_stats()
+            dsv.remap(new)
+            real = comm.reset_stats()
+            tb, tm, mb, mm = exchange_step_stats(old, new, local_bits)
+            if old == new:
+                continue
+            assert tb == real.total_bytes
+            assert tm == real.total_msgs
+            assert mb == real.max_bytes_per_rank
+            assert mm == real.max_msgs_per_rank
+
+    def test_identity_is_zero(self):
+        lay = QubitLayout.identity(6)
+        assert exchange_step_stats(lay, lay, 4) == (0, 0, 0, 0)
+
+    def test_local_only_permutation_is_zero_traffic(self):
+        old = QubitLayout.identity(6)
+        new = QubitLayout([1, 0, 3, 2, 4, 5])  # shuffles local positions only
+        tb, tm, mb, mm = exchange_step_stats(old, new, 4)
+        assert tb == 0 and tm == 0
+
+    def test_single_swap_moves_half(self):
+        n, l = 6, 4
+        old = QubitLayout.identity(n)
+        new = swap_qubit_positions(old, 0, 5)
+        tb, _, mb, _ = exchange_step_stats(old, new, l)
+        # Each rank ships half its shard.
+        assert mb == (1 << (l - 1)) * 16
+        assert tb == 4 * (1 << (l - 1)) * 16
+
+
+class TestLayoutOnlyState:
+    def test_interface_parity(self):
+        comm = SimComm(4)
+        s = LayoutOnlyState(6, comm)
+        assert s.local_bits == 4
+        assert s.local_qubits() == [0, 1, 2, 3]
+        assert s.process_qubits() == [4, 5]
+        assert s.is_local(0) and not s.is_local(5)
+        assert s.shards is None
+
+    def test_remap_records_stats(self):
+        comm = SimComm(4)
+        s = LayoutOnlyState(6, comm)
+        new = swap_qubit_positions(s.layout, 0, 5)
+        s.remap(new)
+        assert s.layout == new
+        assert comm.stats.total_bytes > 0
+        # identity remap: nothing recorded
+        before = comm.stats.steps
+        s.remap(new)
+        assert comm.stats.steps == before
+
+    def test_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            LayoutOnlyState(2, SimComm(8))

@@ -1,0 +1,42 @@
+"""Fig. 4 — the paper's toy partitioning example, reproduced exactly.
+
+"A toy example partitioning of bv graph with 6 qubits with qubit limit 4
+using Nat (left) and dagP approach (right)": the figure shows Nat needing
+five parts (GREEN/CYAN/ORANGE/PINK/GOLD) where dagP needs two
+(GREEN/CYAN), and the text notes "DFS approach can return any number of
+parts between these two examples".
+"""
+
+import numpy as np
+
+from repro.circuits.generators import bv
+from repro.partition import get_partitioner, validate_partition
+from repro.sv import HierarchicalExecutor, StateVectorSimulator, zero_state
+
+
+class TestFig4ToyExample:
+    def setup_method(self):
+        self.qc = bv(6)
+        self.limit = 4
+
+    def test_nat_needs_five_parts(self):
+        p = get_partitioner("Nat").partition(self.qc, self.limit)
+        assert p.num_parts == 5
+
+    def test_dagp_needs_two_parts(self):
+        p = get_partitioner("dagP").partition(self.qc, self.limit)
+        assert p.num_parts == 2
+
+    def test_dfs_lands_between(self):
+        p = get_partitioner("DFS").partition(self.qc, self.limit)
+        assert 2 <= p.num_parts <= 5
+
+    def test_all_three_simulate_identically(self):
+        ref = StateVectorSimulator(6)
+        ref.run(self.qc)
+        for strategy in ("Nat", "DFS", "dagP"):
+            p = get_partitioner(strategy).partition(self.qc, self.limit)
+            validate_partition(self.qc, p, raise_on_error=True)
+            state = zero_state(6)
+            HierarchicalExecutor().run(self.qc, p, state)
+            assert np.allclose(state, ref.state, atol=1e-10), strategy

@@ -1,0 +1,100 @@
+"""Hierarchical Gather-Execute-Scatter executor tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import generators
+from repro.partition import get_partitioner
+from repro.sv.hier import ExecutionTrace, HierarchicalExecutor, pad_working_set
+from repro.sv.simulator import StateVectorSimulator, random_state, zero_state
+
+from conftest import SUITE_SMALL, random_circuit
+
+
+def reference_state(qc, initial=None):
+    sim = StateVectorSimulator(qc.num_qubits, initial_state=initial)
+    sim.run(qc)
+    return sim.state
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,n", SUITE_SMALL)
+    @pytest.mark.parametrize("strategy", ["Nat", "DFS", "dagP"])
+    def test_batched_matches_flat(self, name, n, strategy):
+        qc = generators.build(name, n)
+        limit = max(3, n - 3)
+        p = get_partitioner(strategy).partition(qc, limit)
+        state = zero_state(n)
+        HierarchicalExecutor().run(qc, p, state)
+        assert np.allclose(state, reference_state(qc), atol=1e-9)
+
+    @pytest.mark.parametrize("name,n", SUITE_SMALL[:4])
+    def test_literal_matches_batched(self, name, n):
+        qc = generators.build(name, n)
+        p = get_partitioner("dagP").partition(qc, max(3, n - 3))
+        a = zero_state(n)
+        b = zero_state(n)
+        HierarchicalExecutor(mode="batched").run(qc, p, a)
+        HierarchicalExecutor(mode="literal").run(qc, p, b)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_arbitrary_initial_state(self):
+        qc = generators.build("ising", 8)
+        p = get_partitioner("dagP").partition(qc, 5)
+        init = random_state(8, seed=42)
+        state = init.copy()
+        HierarchicalExecutor().run(qc, p, state)
+        assert np.allclose(state, reference_state(qc, initial=init), atol=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 9999), limit=st.integers(3, 6))
+    def test_property_random_circuits(self, seed, limit):
+        qc = random_circuit(7, 25, seed=seed)
+        p = get_partitioner("dagP").partition(qc, limit)
+        state = zero_state(7)
+        HierarchicalExecutor().run(qc, p, state)
+        assert np.allclose(state, reference_state(qc), atol=1e-9)
+
+
+class TestPadding:
+    def test_pad_working_set(self):
+        assert pad_working_set((2, 5), 8, 4) == (0, 1, 2, 5)
+        assert pad_working_set((0, 1), 8, 2) == (0, 1)
+        # Cannot pad beyond register width.
+        assert pad_working_set((0,), 2, 5) == (0, 1)
+
+    def test_padded_execution_still_correct(self):
+        qc = generators.build("cc", 8)
+        p = get_partitioner("Nat").partition(qc, 4)
+        state = zero_state(8)
+        HierarchicalExecutor(pad_to=6).run(qc, p, state)
+        assert np.allclose(state, reference_state(qc), atol=1e-9)
+
+
+class TestTrace:
+    def test_trace_accounting(self):
+        qc = generators.build("bv", 8)
+        p = get_partitioner("dagP").partition(qc, 5)
+        trace = ExecutionTrace()
+        HierarchicalExecutor().run(qc, p, zero_state(8), trace=trace)
+        assert trace.num_parts == p.num_parts
+        assert sum(trace.part_gates) == len(qc)
+        # Each part gathers and scatters the full state once.
+        assert trace.gather_elements == p.num_parts * (1 << 8)
+        assert trace.scatter_elements == trace.gather_elements
+        for qubits, part in zip(trace.part_qubits, p.parts):
+            assert set(part.qubits) <= set(qubits)
+
+
+class TestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            HierarchicalExecutor(mode="warp")
+
+    def test_state_length_mismatch(self):
+        qc = generators.build("bv", 8)
+        p = get_partitioner("Nat").partition(qc, 5)
+        with pytest.raises(ValueError):
+            HierarchicalExecutor().run(qc, p, zero_state(7))

@@ -1,0 +1,65 @@
+"""Partition quality metric tests."""
+
+import pytest
+
+from repro.circuits import generators
+from repro.circuits.circuit import QuantumCircuit
+from repro.partition import Partition, get_partitioner
+from repro.partition.metrics import evaluate_partition
+
+
+class TestEvaluate:
+    def _metrics(self, name="ising", n=10, limit=6, strategy="dagP"):
+        qc = generators.build(name, n)
+        p = get_partitioner(strategy).partition(qc, limit)
+        return qc, p, evaluate_partition(qc, p)
+
+    def test_basic_fields(self):
+        qc, p, m = self._metrics()
+        assert m.num_parts == p.num_parts
+        assert m.max_working_set == p.max_working_set()
+        assert 0 < m.fill_factor <= 1.0
+        assert m.gates_per_part_min <= m.gates_per_part_max
+        assert sum(p.gates_per_part()) == len(qc)
+
+    def test_edge_cut_bounds(self):
+        qc, p, m = self._metrics()
+        from repro.partition.base import gate_dependency_edges
+
+        assert 0 <= m.edge_cut <= len(gate_dependency_edges(qc))
+        assert 0.0 <= m.edge_cut_fraction <= 1.0
+
+    def test_single_part_extremes(self):
+        qc = generators.build("bv", 8)
+        p = get_partitioner("dagP").partition(qc, 8)
+        m = evaluate_partition(qc, p)
+        assert m.num_parts == 1
+        assert m.edge_cut == 0
+        assert m.mean_consecutive_overlap == 0.0
+        assert m.estimated_moved_fraction == 0.0
+
+    def test_empty_partition(self):
+        qc = QuantumCircuit(2)
+        p = Partition.from_assignment(qc, [], 2, "t")
+        m = evaluate_partition(qc, p)
+        assert m.num_parts == 0
+
+    def test_dagp_cuts_no_more_than_nat(self):
+        """dagP's global view should find parts at least as coherent."""
+        qc = generators.build("ising", 12)
+        nat = evaluate_partition(qc, get_partitioner("Nat").partition(qc, 7))
+        dagp = evaluate_partition(qc, get_partitioner("dagP").partition(qc, 7))
+        assert dagp.num_parts <= nat.num_parts
+
+    def test_moved_fraction_tracks_overlap(self):
+        # Full overlap between consecutive parts => nothing moves.
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).h(1).cx(1, 0)
+        p = Partition.from_assignment(qc, [0, 0, 1, 1], limit=2, strategy="t")
+        m = evaluate_partition(qc, p)
+        assert m.estimated_moved_fraction == 0.0
+
+    def test_summary_renders(self):
+        _, _, m = self._metrics()
+        s = m.summary()
+        assert "parts=" in s and "cut=" in s

@@ -1,0 +1,98 @@
+"""OpenQASM writer/parser tests."""
+
+import math
+
+import pytest
+
+from repro.circuits import generators
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.qasm import QasmError, dumps, loads
+
+from conftest import SUITE_SMALL, random_circuit
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name,n", SUITE_SMALL)
+    def test_suite_roundtrip(self, name, n):
+        qc = generators.build(name, n)
+        back = loads(dumps(qc))
+        assert back.num_qubits == qc.num_qubits
+        assert len(back) == len(qc)
+        for a, b in zip(qc, back):
+            assert a.name == b.name
+            assert a.qubits == b.qubits
+            assert a.params == pytest.approx(b.params)
+
+    def test_random_roundtrip(self):
+        qc = random_circuit(6, 60, seed=3)
+        assert loads(dumps(qc)) == qc
+
+
+class TestParsing:
+    def test_minimal_program(self):
+        qc = loads(
+            """
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            h q[0];
+            cx q[0],q[1];
+            """
+        )
+        assert len(qc) == 2
+        assert qc[1].name == "cx"
+        assert qc[1].qubits == (0, 1)
+
+    def test_parameter_expressions(self):
+        qc = loads("qreg q[1]; rx(pi/2) q[0]; rz(-pi) q[0]; u1(3*pi/4+1) q[0];")
+        assert qc[0].params[0] == pytest.approx(math.pi / 2)
+        assert qc[1].params[0] == pytest.approx(-math.pi)
+        assert qc[2].params[0] == pytest.approx(3 * math.pi / 4 + 1)
+
+    def test_measure_barrier_creg_ignored(self):
+        qc = loads(
+            "qreg q[2]; creg c[2]; h q[0]; barrier q[0]; "
+            "measure q[0] -> c[0]; reset q[1];"
+        )
+        assert len(qc) == 1
+
+    def test_comments_stripped(self):
+        qc = loads("qreg q[1]; // a comment\nh q[0]; // trailing")
+        assert len(qc) == 1
+
+    def test_multiple_registers_concatenate(self):
+        qc = loads("qreg a[2]; qreg b[2]; cx a[1],b[0];")
+        assert qc.num_qubits == 4
+        assert qc[0].qubits == (1, 2)
+
+
+class TestErrors:
+    def test_no_qreg(self):
+        with pytest.raises(QasmError):
+            loads("h q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[1]; warp q[0];")
+
+    def test_out_of_range_qubit(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[2]; h q[5];")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[2]; h r[0];")
+
+    def test_user_defined_gate_rejected(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[1]; gate foo a { h a; } foo q[0];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[1]; rx(__import__) q[0];")
+        with pytest.raises(QasmError):
+            loads("qreg q[1]; rx(x) q[0];")
+
+    def test_bad_argument_syntax(self):
+        with pytest.raises(QasmError):
+            loads("qreg q[2]; cx q[0] q[1];")  # missing comma

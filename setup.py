@@ -1,14 +1,29 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the HiSVSIM reproduction.
 
-``pip install -e .`` needs PEP 660 editable wheels, which require the
-``wheel`` distribution; offline boxes without it can fall back to the
-legacy path::
+The package lives under ``src/`` (``import repro`` needs either
+``pip install -e .`` or ``PYTHONPATH=src``).  On offline boxes without
+the ``wheel`` distribution, PEP 660 editable wheels are unavailable; use
+the legacy path::
 
     pip install -e . --no-use-pep517 --no-build-isolation --no-deps
-
-All real metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="hisvsim-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Efficient Hierarchical State Vector Simulation "
+        "of Quantum Circuits via Acyclic Graph Partitioning' "
+        "(Fang et al., CLUSTER 2022)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6"],
+        "bench": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+)

@@ -7,7 +7,12 @@ Public entry points::
     from repro.partition import get_partitioner
     from repro.sv import StateVectorSimulator, HierarchicalExecutor
     from repro.dist import HiSVSimEngine, IQSEngine
+
+Subpackages are importable lazily as attributes (``import repro;
+repro.dist.HiSVSimEngine``) so that loading the package root stays cheap.
 """
+
+import importlib
 
 from .circuits import (
     GATE_DEFS,
@@ -20,7 +25,27 @@ from .circuits import (
     qasm,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+_SUBPACKAGES = (
+    "analysis",
+    "cachesim",
+    "circuits",
+    "dag",
+    "dist",
+    "experiments",
+    "hybrid",
+    "partition",
+    "runtime",
+    "sv",
+)
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "GATE_DEFS",
@@ -32,4 +57,5 @@ __all__ = [
     "make_gate",
     "qasm",
     "__version__",
+    *_SUBPACKAGES,
 ]

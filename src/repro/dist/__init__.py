@@ -1,0 +1,42 @@
+"""Distributed (multi-rank) state-vector simulation.
+
+The layer the paper's Sec. III-D/V describes: the ``2^n`` state is split
+over ``R = 2^p`` virtual ranks (see :class:`~repro.runtime.comm.SimComm`),
+each holding a ``2^(n-p)`` shard.  A :class:`~repro.sv.layout.QubitLayout`
+maps qubits to storage-bit positions; positions ``>= local_bits`` address
+the rank, so moving a qubit across that boundary is communication.
+
+Modules
+-------
+``state``
+    :class:`DistributedStateVector` — real amplitudes, sharded, with
+    layout-changing ``remap`` exchanges routed through ``SimComm``.
+``exchange``
+    Layout planning: minimal-motion working-set eviction with next-part
+    lookahead (the HiSVSIM remap policy).
+``analytic``
+    :class:`LayoutOnlyState` and closed-form exchange accounting for
+    dry runs at paper widths (no amplitudes materialised).
+``hisvsim``
+    :class:`HiSVSimEngine` — partition-driven execution: one remap per
+    part, then every gate of the part runs locally.
+``iqs``
+    :class:`IQSEngine` — the Intel-QS-style static-mapping baseline:
+    per-gate exchanges, with control/diagonal communication fast paths.
+"""
+
+from .analytic import LayoutOnlyState, exchange_step_stats
+from .exchange import plan_layout_for_part, swap_qubit_positions
+from .hisvsim import HiSVSimEngine
+from .iqs import IQSEngine
+from .state import DistributedStateVector
+
+__all__ = [
+    "DistributedStateVector",
+    "LayoutOnlyState",
+    "exchange_step_stats",
+    "plan_layout_for_part",
+    "swap_qubit_positions",
+    "HiSVSimEngine",
+    "IQSEngine",
+]

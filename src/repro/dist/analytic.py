@@ -1,0 +1,134 @@
+"""Closed-form exchange accounting and the amplitude-free state.
+
+Dry-run engines at paper widths (30+ qubits, up to 1024 ranks) cannot
+materialise amplitudes, but every reproduced figure needs the *exact*
+traffic a real run would generate.  :func:`exchange_step_stats` computes,
+in O(n) for a layout transition, the same four numbers
+:meth:`~repro.runtime.comm.SimComm.alltoall_permute` would record after
+actually scattering ``2^n`` amplitudes; :class:`LayoutOnlyState` is the
+drop-in state object that records those numbers on ``remap``.
+
+Derivation.  A layout change is a permutation ``sigma`` of storage-bit
+positions.  Write ``l = local_bits`` and ``p`` process bits (``R = 2^p``
+ranks).  The destination **rank** of an element is read off the new
+process positions; each such position sources its bit either from an old
+process position (fixed per source rank) or from an old local position
+(free — it varies over the shard).  With ``k`` rank bits sourced from
+local positions, every source rank scatters its shard evenly over ``2^k``
+destination ranks in messages of ``2^(l-k)`` amplitudes, and — because the
+map is a bit permutation — every destination symmetrically receives
+``2^k`` equal messages.  A rank keeps a message for itself iff its fixed
+destination bits reproduce its own bits; the rank-bit equalities involved
+form a union-find structure whose component count ``c`` gives the number
+of such ranks as ``2^c``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..runtime.comm import SimComm
+from ..sv.layout import QubitLayout
+from .state import AMP_BYTES, LayoutQueriesMixin, _split_bits
+
+__all__ = ["exchange_step_stats", "LayoutOnlyState"]
+
+
+def exchange_step_stats(
+    old: QubitLayout, new: QubitLayout, local_bits: int
+) -> Tuple[int, int, int, int]:
+    """Traffic of the ``old -> new`` exchange at the given shard split.
+
+    Returns ``(total_bytes, total_msgs, max_bytes_per_rank,
+    max_msgs_per_rank)`` — exactly the step
+    :meth:`~repro.runtime.comm.SimComm.alltoall_permute` would add, with
+    diagonal (rank-to-self) traffic excluded.
+    """
+    n = old.n
+    if new.n != n:
+        raise ValueError("layout size mismatch")
+    if not 0 <= local_bits <= n:
+        raise ValueError("local_bits out of range")
+    process_bits = n - local_bits
+    if old == new or process_bits == 0:
+        return (0, 0, 0, 0)
+
+    sigma = old.transition_sigma(new)  # old position -> new position
+    source_of = [0] * n  # new position -> old position
+    for old_pos, new_pos in enumerate(sigma):
+        source_of[new_pos] = old_pos
+
+    # k: destination-rank bits sourced from old *local* positions.
+    k = sum(
+        1
+        for j in range(process_bits)
+        if source_of[local_bits + j] < local_bits
+    )
+
+    # Self-message ranks: bits sourced from process positions pin
+    # ``r[i] == r[j]``; count satisfying ranks via union-find components.
+    parent = list(range(process_bits))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for j in range(process_bits):
+        src = source_of[local_bits + j]
+        if src >= local_bits:
+            ri, rj = find(src - local_bits), find(j)
+            if ri != rj:
+                parent[ri] = rj
+    components = len({find(i) for i in range(process_bits)})
+    self_ranks = 1 << components  # ranks whose destination set includes self
+
+    num_ranks = 1 << process_bits
+    fanout = 1 << k  # destination ranks per source rank
+    if k == 0 and self_ranks == num_ranks:
+        # Process mapping is the identity: local-only shuffle, no traffic.
+        return (0, 0, 0, 0)
+    msg_bytes = AMP_BYTES << (local_bits - k)
+    total_msgs = num_ranks * fanout - self_ranks
+    total_bytes = total_msgs * msg_bytes
+    # Per-rank, bytes/messages out equal bytes/messages in (the diagonal
+    # entry is shared); the busiest rank is any without a self-message.
+    busiest_msgs = fanout - (1 if self_ranks == num_ranks else 0)
+    return (total_bytes, total_msgs, busiest_msgs * msg_bytes, busiest_msgs)
+
+
+class LayoutOnlyState(LayoutQueriesMixin):
+    """A distributed state with no amplitudes — layout and traffic only.
+
+    Interface-compatible with
+    :class:`~repro.dist.state.DistributedStateVector` for everything the
+    engines' planning and accounting paths touch (``layout``, ``remap``,
+    residency queries); ``shards`` is ``None``.
+    """
+
+    shards = None
+
+    def __init__(
+        self,
+        num_qubits: int,
+        comm: SimComm,
+        layout: Optional[QubitLayout] = None,
+    ) -> None:
+        process_bits = _split_bits(num_qubits, comm)
+        self.num_qubits = num_qubits
+        self.comm = comm
+        self.layout = layout or QubitLayout.identity(num_qubits)
+        if self.layout.n != num_qubits:
+            raise ValueError("layout width does not match num_qubits")
+        self.local_bits = num_qubits - process_bits
+        self.process_bits = process_bits
+
+    def remap(self, new_layout: QubitLayout) -> None:
+        """Record the exchange a real remap would perform."""
+        if new_layout == self.layout:
+            return
+        self.comm.stats.add_step(
+            *exchange_step_stats(self.layout, new_layout, self.local_bits)
+        )
+        self.layout = new_layout

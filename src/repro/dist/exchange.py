@@ -1,0 +1,80 @@
+"""Layout planning: which qubits to swap before executing a part.
+
+HiSVSIM's remap policy (Sec. III-D): before a part runs, every qubit of
+its working set must sit in a local (shard-offset) position.  The planner
+moves **only** the missing qubits — each one swaps positions with an
+evicted local resident, so a plan with ``k`` missing qubits perturbs
+exactly ``2k`` qubits of the layout (minimal motion).  Eviction prefers
+residents that the *next* part does not need (one-part lookahead), which
+is what keeps consecutive parts from thrashing the same qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..sv.layout import QubitLayout
+
+__all__ = ["plan_layout_for_part", "swap_qubit_positions"]
+
+
+def swap_qubit_positions(
+    layout: QubitLayout, qubit_a: int, qubit_b: int
+) -> QubitLayout:
+    """Layout with the storage positions of two qubits exchanged."""
+    positions = list(layout.positions)
+    positions[qubit_a], positions[qubit_b] = (
+        positions[qubit_b],
+        positions[qubit_a],
+    )
+    return QubitLayout(positions)
+
+
+def plan_layout_for_part(
+    layout: QubitLayout,
+    part_qubits: Sequence[int],
+    local_bits: int,
+    next_part_qubits: Optional[Iterable[int]] = None,
+) -> QubitLayout:
+    """Minimal-motion layout that makes ``part_qubits`` all local.
+
+    Parameters
+    ----------
+    layout:
+        Current data layout.
+    part_qubits:
+        Working set of the part about to execute.
+    local_bits:
+        Number of shard-offset (local) bit positions.
+    next_part_qubits:
+        Working set of the following part, if known; residents it needs
+        are evicted last.
+
+    Returns ``layout`` itself when nothing needs to move.  Raises
+    ``ValueError`` when the working set cannot fit ``local_bits``.
+    """
+    working = set(part_qubits)
+    if len(working) > local_bits:
+        raise ValueError(
+            f"working set of {len(working)} qubits exceeds {local_bits} "
+            f"local qubits"
+        )
+    positions = list(layout.positions)
+    incoming = sorted(q for q in working if positions[q] >= local_bits)
+    if not incoming:
+        return layout
+    lookahead = set(next_part_qubits or ())
+    evictable = [
+        q
+        for q in range(layout.n)
+        if positions[q] < local_bits and q not in working
+    ]
+    # Evict qubits the next part does not need first; within each class,
+    # highest position first so the local window stays compact.
+    evictable.sort(key=lambda q: (q in lookahead, -positions[q]))
+    for qubit, evicted in zip(incoming, evictable):
+        positions[qubit], positions[evicted] = (
+            positions[evicted],
+            positions[qubit],
+        )
+    return QubitLayout(positions)

@@ -1,0 +1,195 @@
+"""Sharded state vector over virtual ranks (Sec. III-D data layout).
+
+Storage model: the packed storage index of an amplitude is a bit
+permutation of its logical basis index, described by a
+:class:`~repro.sv.layout.QubitLayout`.  Bits ``0..local_bits-1`` of the
+packed index select the offset inside a rank's shard; bits
+``local_bits..n-1`` select the rank.  Changing the layout therefore
+requires moving amplitudes between ranks — :meth:`DistributedStateVector.remap`
+builds the destination plan from the bit permutation and executes it as a
+single :meth:`~repro.runtime.comm.SimComm.alltoall_permute`, which records
+the traffic the engines account for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..runtime.comm import SimComm
+from ..sv.kernels import apply_matrix_batched
+from ..sv.layout import QubitLayout, extract_bits, permute_bits
+
+__all__ = ["DistributedStateVector"]
+
+AMP_BYTES = 16  # complex128
+
+
+class LayoutQueriesMixin:
+    """Layout/topology queries shared by real and layout-only states."""
+
+    num_qubits: int
+    local_bits: int
+    process_bits: int
+    layout: QubitLayout
+
+    def local_qubits(self) -> List[int]:
+        """Qubits currently stored in shard-offset positions (ascending)."""
+        return sorted(self.layout.qubits_in_positions(0, self.local_bits))
+
+    def process_qubits(self) -> List[int]:
+        """Qubits currently stored in rank-address positions (ascending)."""
+        return sorted(
+            self.layout.qubits_in_positions(self.local_bits, self.num_qubits)
+        )
+
+    def is_local(self, qubit: int) -> bool:
+        return self.layout.position(qubit) < self.local_bits
+
+
+def _split_bits(num_qubits: int, comm: SimComm) -> int:
+    """Process-bit count for ``comm``, validated against the register width."""
+    process_bits = comm.num_ranks.bit_length() - 1
+    if process_bits > num_qubits:
+        raise ValueError(
+            f"{comm.num_ranks} ranks need {process_bits} process qubits but "
+            f"the register only has {num_qubits}"
+        )
+    return process_bits
+
+
+class DistributedStateVector(LayoutQueriesMixin):
+    """A ``2^n`` state vector sharded over ``comm.num_ranks`` virtual ranks.
+
+    ``shards`` is the ``(R, 2^local_bits)`` complex matrix whose row ``r``
+    is rank ``r``'s data.  All constructors and :meth:`remap` keep the
+    invariant that ``shards.flat[p]`` holds the amplitude of logical basis
+    state ``layout.logical_index(p)``.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        comm: SimComm,
+        shards: np.ndarray,
+        layout: QubitLayout,
+    ) -> None:
+        process_bits = _split_bits(num_qubits, comm)
+        local_bits = num_qubits - process_bits
+        if layout.n != num_qubits:
+            raise ValueError("layout width does not match num_qubits")
+        if shards.shape != (comm.num_ranks, 1 << local_bits):
+            raise ValueError(
+                f"shards must be {(comm.num_ranks, 1 << local_bits)}, "
+                f"got {shards.shape}"
+            )
+        self.num_qubits = num_qubits
+        self.comm = comm
+        self.shards = shards
+        self.layout = layout
+        self.local_bits = local_bits
+        self.process_bits = process_bits
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, num_qubits: int, comm: SimComm) -> "DistributedStateVector":
+        """``|0...0>`` sharded under the identity layout."""
+        process_bits = _split_bits(num_qubits, comm)
+        shards = np.zeros(
+            (comm.num_ranks, 1 << (num_qubits - process_bits)),
+            dtype=np.complex128,
+        )
+        shards[0, 0] = 1.0
+        return cls(num_qubits, comm, shards, QubitLayout.identity(num_qubits))
+
+    @classmethod
+    def from_full(
+        cls,
+        state: np.ndarray,
+        comm: SimComm,
+        layout: Optional[QubitLayout] = None,
+    ) -> "DistributedStateVector":
+        """Shard a full state vector (copied) under ``layout``."""
+        state = np.asarray(state, dtype=np.complex128).reshape(-1)
+        num_qubits = state.size.bit_length() - 1
+        if state.size != 1 << num_qubits:
+            raise ValueError("state length must be a power of two")
+        process_bits = _split_bits(num_qubits, comm)
+        if layout is None:
+            layout = QubitLayout.identity(num_qubits)
+        packed = np.arange(state.size, dtype=np.int64)
+        shards = state[layout.logical_index(packed)].reshape(
+            comm.num_ranks, 1 << (num_qubits - process_bits)
+        )
+        return cls(num_qubits, comm, shards, layout)
+
+    def to_full(self) -> np.ndarray:
+        """Gather the logical state vector (fresh array, any layout)."""
+        packed = np.arange(1 << self.num_qubits, dtype=np.int64)
+        full = np.empty(packed.size, dtype=np.complex128)
+        full[self.layout.logical_index(packed)] = self.shards.reshape(-1)
+        return full
+
+    # -- numerics -------------------------------------------------------------
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.shards))
+
+    # -- communication --------------------------------------------------------
+
+    def remap(self, new_layout: QubitLayout) -> None:
+        """Move to ``new_layout``, exchanging amplitudes between ranks.
+
+        The destination of every element follows from the position-to-
+        position permutation between the two layouts; identical layouts
+        are a true no-op (no exchange step is recorded).
+        """
+        if new_layout == self.layout:
+            return
+        if new_layout.n != self.num_qubits:
+            raise ValueError("layout width does not match num_qubits")
+        sigma = self.layout.transition_sigma(new_layout)
+        packed = np.arange(1 << self.num_qubits, dtype=np.int64)
+        new_packed = permute_bits(packed, sigma)
+        shape = self.shards.shape
+        dest_rank = (new_packed >> self.local_bits).reshape(shape)
+        dest_offset = (new_packed & ((1 << self.local_bits) - 1)).reshape(shape)
+        self.shards = self.comm.alltoall_permute(
+            self.shards, dest_rank, dest_offset
+        )
+        self.layout = new_layout
+
+    # -- local computation ----------------------------------------------------
+
+    def apply_local_matrix(self, matrix: np.ndarray, qubits, diagonal=False) -> None:
+        """Apply a unitary whose operands are all locally resident."""
+        positions = [self.layout.position(q) for q in qubits]
+        if any(p >= self.local_bits for p in positions):
+            raise ValueError(
+                f"operands {tuple(qubits)} are not all local under the "
+                f"current layout"
+            )
+        apply_matrix_batched(
+            self.shards, matrix, positions, self.local_bits, diagonal=diagonal
+        )
+
+    def apply_gate_local(self, gate) -> None:
+        """Apply a :class:`~repro.circuits.gates.Gate` with local operands."""
+        self.apply_local_matrix(gate.matrix(), gate.qubits, gate.is_diagonal)
+
+    def apply_diagonal_global(self, gate) -> None:
+        """Apply a diagonal gate regardless of operand residency.
+
+        Diagonal gates multiply each amplitude by a factor of its own
+        basis index, so rank-resident operand bits need no exchange —
+        the communication-free fast path of the IQS baseline.
+        """
+        diag = np.ascontiguousarray(np.diag(gate.matrix()))
+        packed = np.arange(1 << self.num_qubits, dtype=np.int64)
+        operand_bits = extract_bits(
+            packed, [self.layout.position(q) for q in gate.qubits]
+        )
+        flat = self.shards.reshape(-1)
+        flat *= diag[operand_bits]

@@ -1,0 +1,176 @@
+"""Fused vs. unfused part execution (the Sec. II-C "orthogonal and
+complementary" claim, quantified).
+
+Compares hierarchical execution of the same partition with part-level
+gate fusion on and off: kernel sweeps per part, wall-clock, and the
+plan-cache effect of re-running a compiled partition.  The acceptance
+bar for the fusion pipeline is encoded in
+``test_qft20_sweep_reduction_at_least_2x``: on a 20-qubit QFT at
+``max_fused_qubits=5`` every part must execute in at most half the
+sweeps of one-GEMM-per-gate execution.
+
+Also runnable without pytest for CI smoke::
+
+    python benchmarks/bench_fusion.py --qubits 12 --max-fused-qubits 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.circuits import generators
+from repro.partition import get_partitioner
+from repro.sv import (
+    ExecutionTrace,
+    HierarchicalExecutor,
+    StateVectorSimulator,
+    compile_partition,
+    zero_state,
+)
+
+QFT_QUBITS = 20
+MAX_FUSED = 5
+
+
+def _build(num_qubits=QFT_QUBITS, limit=None, name="qft"):
+    qc = generators.build(name, num_qubits)
+    p = get_partitioner("dagP").partition(
+        qc, limit or max(3, num_qubits - 3)
+    )
+    return qc, p
+
+
+def run_comparison(num_qubits=QFT_QUBITS, max_fused=MAX_FUSED, name="qft",
+                   verify=False):
+    """Execute fused and unfused, return a result dict."""
+    qc, p = _build(num_qubits, name=name)
+    rows = []
+    states = {}
+    for fuse in (False, True):
+        trace = ExecutionTrace()
+        ex = HierarchicalExecutor(fuse=fuse, max_fused_qubits=max_fused)
+        state = zero_state(qc.num_qubits)
+        t0 = time.perf_counter()
+        ex.run(qc, p, state, trace=trace)
+        cold = time.perf_counter() - t0
+        # Second run reuses the compiled plans (cache warm).
+        t0 = time.perf_counter()
+        ex.run(qc, p, zero_state(qc.num_qubits), trace=None)
+        warm = time.perf_counter() - t0
+        rows.append(
+            {
+                "fuse": fuse,
+                "sweeps": trace.total_ops,
+                "gates": trace.total_gates,
+                "per_part": list(
+                    zip(trace.part_gates, trace.part_ops)
+                ),
+                "cold_s": cold,
+                "warm_s": warm,
+            }
+        )
+        states[fuse] = state
+    err = None
+    if verify:
+        sim = StateVectorSimulator(qc.num_qubits)
+        sim.run(qc)
+        err = max(
+            float(np.max(np.abs(states[f] - sim.state))) for f in states
+        )
+    return {
+        "circuit": qc.name,
+        "parts": p.num_parts,
+        "max_fused": max_fused,
+        "unfused": rows[0],
+        "fused": rows[1],
+        "max_err": err,
+    }
+
+
+def render(res) -> str:
+    u, f = res["unfused"], res["fused"]
+    lines = [
+        f"Part-level gate fusion — {res['circuit']} "
+        f"(parts={res['parts']}, max_fused_qubits={res['max_fused']})",
+        f"{'':>10} {'sweeps':>8} {'cold s':>9} {'warm s':>9}",
+        f"{'unfused':>10} {u['sweeps']:>8} {u['cold_s']:>9.3f} {u['warm_s']:>9.3f}",
+        f"{'fused':>10} {f['sweeps']:>8} {f['cold_s']:>9.3f} {f['warm_s']:>9.3f}",
+        f"sweep reduction: {u['sweeps'] / max(f['sweeps'], 1):.1f}x "
+        f"({u['sweeps']} -> {f['sweeps']} over {res['parts']} parts)",
+    ]
+    per = ", ".join(f"{g}->{o}" for g, o in f["per_part"])
+    lines.append(f"per-part gates->sweeps: {per}")
+    if res["max_err"] is not None:
+        lines.append(f"max |state - flat| = {res['max_err']:.3e}")
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+
+def test_qft20_sweep_reduction_at_least_2x(save_result):
+    """Acceptance: >= 2x fewer GEMM sweeps per part on qft20 @ cap 5."""
+    qc, p = _build(QFT_QUBITS)
+    plans = compile_partition(qc, p, fuse=True, max_fused_qubits=MAX_FUSED)
+    for plan in plans:
+        assert plan.num_ops * 2 <= plan.num_source_gates, (
+            f"part fused {plan.num_source_gates} gates into "
+            f"{plan.num_ops} sweeps (< 2x)"
+        )
+    total_gates = sum(pl.num_source_gates for pl in plans)
+    total_ops = sum(pl.num_ops for pl in plans)
+    save_result(
+        "bench_fusion_qft20_sweeps",
+        f"qft20 @ max_fused_qubits={MAX_FUSED}: "
+        f"{total_gates} gate sweeps -> {total_ops} fused sweeps "
+        f"({total_gates / total_ops:.1f}x)",
+    )
+
+
+def test_fused_execution(benchmark):
+    qc, p = _build(16)
+    ex = HierarchicalExecutor(fuse=True, max_fused_qubits=MAX_FUSED)
+    ex.run(qc, p, zero_state(16))  # compile outside the timed region
+    benchmark(lambda: ex.run(qc, p, zero_state(16)))
+
+
+def test_unfused_execution(benchmark):
+    qc, p = _build(16)
+    ex = HierarchicalExecutor(fuse=False)
+    ex.run(qc, p, zero_state(16))
+    benchmark(lambda: ex.run(qc, p, zero_state(16)))
+
+
+def test_fusion_comparison_table(save_result):
+    res = run_comparison(16, MAX_FUSED, verify=True)
+    assert res["max_err"] is not None and res["max_err"] < 1e-10
+    assert res["unfused"]["sweeps"] >= 2 * res["fused"]["sweeps"]
+    save_result("bench_fusion_comparison", render(res))
+
+
+# -- standalone smoke entry point -------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=QFT_QUBITS)
+    parser.add_argument("--max-fused-qubits", type=int, default=MAX_FUSED)
+    parser.add_argument("--circuit", default="qft")
+    parser.add_argument("--no-verify", dest="verify", action="store_false",
+                        default=True)
+    args = parser.parse_args(argv)
+    res = run_comparison(
+        args.qubits, args.max_fused_qubits, args.circuit, verify=args.verify
+    )
+    print(render(res))
+    if res["max_err"] is not None and res["max_err"] > 1e-10:
+        print("VERIFICATION FAILED")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

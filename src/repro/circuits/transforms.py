@@ -54,17 +54,38 @@ _INVERSE_NAME = {
 _NEGATE_PARAM = {"rx", "ry", "rz", "u1", "cu1", "crx", "cry", "crz", "rzz"}
 
 
+#: Unitarity deviation above which an input is rejected as non-unitary
+#: (rather than as a u3 reconstruction that missed ``atol``).
+_UNITARY_DEVIATION_LIMIT = 1e-6
+
+
 def decompose_unitary_1q(
     matrix: np.ndarray,
+    *,
+    atol: float = 1e-9,
 ) -> Tuple[float, float, float, float]:
     """(alpha, theta, phi, lam) with
     ``matrix == e^{i alpha} u3(theta, phi, lam)`` exactly.
 
     Always succeeds for a 2x2 unitary: u3 covers SU(2) up to phase and the
-    residual global phase is returned separately.
+    residual global phase is returned separately.  Two distinct failure
+    modes raise distinct errors: a genuinely non-unitary input (unitarity
+    deviation beyond ``_UNITARY_DEVIATION_LIMIT``) is reported as such,
+    while a near-unitary input whose reconstruction residual merely
+    exceeds ``atol`` is reported as a tolerance failure — loosen ``atol``
+    to accept it.
     """
     if matrix.shape != (2, 2):
         raise ValueError("u3 decomposition needs a 2x2 matrix")
+    deviation = float(
+        np.max(np.abs(matrix @ matrix.conj().T - np.eye(2)))
+    )
+    # A caller-supplied looser atol loosens the unitarity gate with it —
+    # an input decomposable within atol must not be pre-rejected here.
+    if deviation > max(_UNITARY_DEVIATION_LIMIT, atol):
+        raise ValueError(
+            f"matrix is not unitary (max |MM^H - I| = {deviation:.3e})"
+        )
     m00, m01 = matrix[0, 0], matrix[0, 1]
     m10, m11 = matrix[1, 0], matrix[1, 1]
     theta = 2.0 * math.atan2(abs(m10), abs(m00))
@@ -87,10 +108,15 @@ def decompose_unitary_1q(
     residual = matrix @ candidate.conj().T
     # residual should be e^{i alpha'} I; read the exact phase off it.
     alpha = cmath.phase(residual[0, 0])
-    if not np.allclose(
-        matrix, cmath.exp(1j * alpha) * candidate, atol=1e-9
-    ):
-        raise ValueError("matrix is not unitary")
+    error = float(
+        np.max(np.abs(matrix - cmath.exp(1j * alpha) * candidate))
+    )
+    if error > atol:
+        raise ValueError(
+            f"u3 reconstruction residual {error:.3e} exceeds atol="
+            f"{atol:.1e} (matrix is unitary to {deviation:.3e}; pass a "
+            f"larger atol to accept it)"
+        )
     return (alpha, theta, phi, lam)
 
 

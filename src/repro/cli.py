@@ -6,9 +6,13 @@ Usage::
     repro table1 [--scale paper]     # one experiment
     repro all --scale paper          # everything, saved under results/
     repro circuit bv --qubits 16     # inspect a generated circuit
+    repro simulate qft --qubits 16 --no-fuse   # partitioned execution
 
 Each experiment prints its paper-shaped table and (with ``--save``) writes
-it under ``results/``.
+it under ``results/``.  ``simulate`` partitions a generated circuit, runs
+it through the hierarchical executor (part-level gate fusion on by
+default; disable with ``--no-fuse``) and reports the compiled sweep
+counts plus a cross-check against the flat simulator.
 """
 
 from __future__ import annotations
@@ -64,6 +68,52 @@ def _run_one(name: str, scale_name: str, save: bool) -> str:
     return text
 
 
+def _simulate(args) -> int:
+    """Partition, hierarchically execute and summarise one circuit."""
+    import numpy as np
+
+    from .circuits import generators
+    from .partition import get_partitioner
+    from .partition.metrics import evaluate_partition
+    from .sv import ExecutionTrace, HierarchicalExecutor, zero_state
+    from .sv.simulator import StateVectorSimulator
+
+    qc = generators.build(args.name, args.qubits)
+    limit = args.limit or max(3, args.qubits - 3)
+    p = get_partitioner(args.strategy).partition(qc, limit)
+    trace = ExecutionTrace()
+    state = zero_state(qc.num_qubits)
+    t0 = time.perf_counter()
+    HierarchicalExecutor(
+        pad_to=args.pad_to,
+        fuse=args.fuse,
+        max_fused_qubits=args.max_fused_qubits,
+    ).run(qc, p, state, trace=trace)
+    elapsed = time.perf_counter() - t0
+    m = evaluate_partition(qc, p, max_fused_qubits=args.max_fused_qubits)
+    print(
+        f"{qc.name}: qubits={qc.num_qubits} gates={len(qc)} "
+        f"strategy={args.strategy} limit={limit} parts={p.num_parts}"
+    )
+    print(
+        f"fusion={'on' if args.fuse else 'off'} "
+        f"(max_fused_qubits={args.max_fused_qubits}): "
+        f"sweeps={trace.total_ops} of {trace.total_gates} gate sweeps "
+        f"(saved {trace.sweeps_saved})"
+    )
+    print(m.summary())
+    print(f"executed in {elapsed:.3f}s")
+    if args.verify:
+        sim = StateVectorSimulator(qc.num_qubits)
+        sim.run(qc)
+        err = float(np.max(np.abs(state - sim.state)))
+        print(f"max |fused - flat| = {err:.3e}")
+        if err > 1e-10:
+            print("VERIFICATION FAILED")
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,6 +139,24 @@ def main(argv=None) -> int:
     p_circ.add_argument("--qubits", type=int, default=16)
     p_circ.add_argument("--qasm", action="store_true", help="print OpenQASM")
 
+    p_sim = sub.add_parser(
+        "simulate", help="partition + hierarchically execute a circuit"
+    )
+    p_sim.add_argument("name")
+    p_sim.add_argument("--qubits", type=int, default=16)
+    p_sim.add_argument("--limit", type=int, default=0,
+                       help="working-set limit (default: qubits - 3)")
+    p_sim.add_argument("--strategy", default="dagP",
+                       choices=["Nat", "DFS", "dagP"])
+    p_sim.add_argument("--fuse", dest="fuse", action="store_true",
+                       default=True, help="fuse part gates (default)")
+    p_sim.add_argument("--no-fuse", dest="fuse", action="store_false",
+                       help="one kernel sweep per gate")
+    p_sim.add_argument("--max-fused-qubits", type=int, default=5)
+    p_sim.add_argument("--pad-to", type=int, default=0)
+    p_sim.add_argument("--verify", action="store_true",
+                       help="cross-check against the flat simulator")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -109,6 +177,8 @@ def main(argv=None) -> int:
                 f"depth={st.depth} state={st.memory_human()}"
             )
         return 0
+    if args.command == "simulate":
+        return _simulate(args)
     if args.command == "all":
         for name in EXPERIMENTS:
             print(f"=== {name} ===")

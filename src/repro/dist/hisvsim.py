@@ -27,6 +27,7 @@ from ..partition.multilevel import MultilevelPartition
 from ..runtime.comm import SimComm
 from ..runtime.machine import FRONTERA_LIKE, MachineModel
 from ..runtime.metrics import ComputeStats, RunReport
+from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, PlanCache
 from ._cost import charge_gate
 from .analytic import LayoutOnlyState
 from .exchange import plan_layout_for_part
@@ -51,6 +52,19 @@ class HiSVSimEngine:
         Additionally estimate a compute/communication-overlapped total
         (each part's remap hidden behind the previous part's execution);
         reported in ``extras["total_overlapped"]``.
+    fuse:
+        Compile each part's gate list into fused unitaries via
+        :mod:`repro.sv.fusion` before sweeping the shards; every rank's
+        shard reuses the same compiled plan, and repeated runs hit the
+        (shareable) ``plan_cache``.  Off by default so the paper's
+        gate-for-gate model comparisons against the IQS baseline stay
+        unchanged; turn on for throughput-oriented runs.
+    max_fused_qubits:
+        Dense fusion arity cap (clipped to each part's working set).
+    plan_cache:
+        Optional shared :class:`~repro.sv.fusion.PlanCache` — pass the
+        hierarchical executor's cache to share compiled parts across
+        engines.
     """
 
     def __init__(
@@ -59,6 +73,10 @@ class HiSVSimEngine:
         machine: MachineModel = FRONTERA_LIKE,
         dry_run: bool = False,
         overlap: bool = False,
+        *,
+        fuse: bool = False,
+        max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
             raise ValueError("num_ranks must be a positive power of two")
@@ -66,6 +84,9 @@ class HiSVSimEngine:
         self.machine = machine
         self.dry_run = dry_run
         self.overlap = overlap
+        self.fuse = bool(fuse)
+        self.max_fused_qubits = int(max_fused_qubits)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
     # -- public API ---------------------------------------------------------
 
@@ -133,7 +154,7 @@ class HiSVSimEngine:
             inner = multilevel.inner[i] if multilevel is not None else None
             part_comp.append(
                 self._execute_part(
-                    circuit, part.gate_indices, inner, state, local_bits, compute
+                    circuit, part, inner, state, local_bits, compute
                 )
             )
 
@@ -175,28 +196,32 @@ class HiSVSimEngine:
     def _execute_part(
         self,
         circuit: QuantumCircuit,
-        gate_indices: Tuple[int, ...],
+        part,
         inner: Optional[Partition],
         state,
         local_bits: int,
         compute: ComputeStats,
     ) -> float:
         """Run (and charge) one part; returns model seconds."""
+        gate_indices = part.gate_indices
         shard_bytes = AMP_BYTES << local_bits
         seconds = 0.0
         if inner is None or inner.num_parts <= 1:
-            groups = [(gate_indices, local_bits)]
+            groups = [(gate_indices, local_bits, part.qubits)]
         else:
             # Level-2 order: gates grouped by inner part; each group's
             # sweeps stream against its (cache-sized) inner working set.
+            # Inner parts come from ``circuit.subcircuit``, which keeps
+            # global qubit labels, so their working sets are usable here.
             groups = [
                 (
                     tuple(gate_indices[j] for j in ip.gate_indices),
                     ip.working_set_size,
+                    ip.qubits,
                 )
                 for ip in inner.parts
             ]
-        for indices, width in groups:
+        for indices, width, qubits in groups:
             if width < local_bits:
                 # Gather into / scatter out of 2^width inner vectors: one
                 # streaming pass over the shard each way.
@@ -204,14 +229,36 @@ class HiSVSimEngine:
                 working_set = AMP_BYTES << width
             else:
                 working_set = shard_bytes
-            for g in indices:
-                gate = circuit[g]
+            for op in self._ops_for(circuit, indices, width, qubits):
+                # FusedGate duck-types Gate for both the cost model
+                # (num_qubits / is_diagonal) and the shard kernels
+                # (qubits / matrix()); every rank's shard row executes
+                # the same compiled op in one batched sweep.
                 seconds += charge_gate(
-                    self.machine, compute, gate, local_bits, working_set
+                    self.machine, compute, op, local_bits, working_set
                 )
                 if not self.dry_run:
-                    state.apply_gate_local(gate)
+                    state.apply_gate_local(op)
         return seconds
+
+    def _ops_for(
+        self,
+        circuit: QuantumCircuit,
+        indices: Tuple[int, ...],
+        width: int,
+        qubits: Tuple[int, ...],
+    ):
+        """Ops to sweep for one gate group: fused plan or raw gates."""
+        if not self.fuse:
+            return [circuit[g] for g in indices]
+        plan = self.plan_cache.get_or_compile(
+            circuit,
+            indices,
+            qubits,
+            fuse=True,
+            max_fused_qubits=min(self.max_fused_qubits, max(width, 1)),
+        )
+        return plan.ops
 
 
 def _overlapped_total(part_comp: List[float], part_comm: List[float]) -> float:

@@ -6,14 +6,22 @@ quotient), consecutive-part qubit overlap (what the distributed engine's
 minimal-motion remap exploits — higher overlap means fewer moved
 amplitudes), and the working-set fill factor (how well parts use the
 allowed inner state size).
+
+Cost accounting is fusion-aware: each part's gate list is run through the
+:mod:`repro.sv.fusion` grouping planner (no matrices are built) and both
+the per-gate and the post-fusion kernel-sweep counts and flop totals are
+reported, so partition quality reflects what a compiled execution
+actually pays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from ..circuits.circuit import QuantumCircuit
+from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, plan_fusion_groups
+from ..sv.kernels import flops_for_gate
 from .base import Partition, gate_dependency_edges
 
 __all__ = ["PartitionMetrics", "evaluate_partition"]
@@ -33,6 +41,16 @@ class PartitionMetrics:
     estimated_moved_fraction: float  # amplitudes remapped per switch (mean)
     gates_per_part_min: int
     gates_per_part_max: int
+    # Fusion-aware cost accounting (full-state sweeps, Sec. III-A flops).
+    sweeps_unfused: int = 0  # kernel sweeps at one per gate
+    sweeps_fused: int = 0  # kernel sweeps after part-level fusion
+    flops_unfused: int = 0
+    flops_fused: int = 0
+
+    @property
+    def fusion_factor(self) -> float:
+        """Gates per fused kernel sweep (1.0 when nothing fuses)."""
+        return self.sweeps_unfused / self.sweeps_fused if self.sweeps_fused else 0.0
 
     def summary(self) -> str:
         return (
@@ -40,14 +58,23 @@ class PartitionMetrics:
             f"fill={self.fill_factor:.2f} cut={self.edge_cut} "
             f"({self.edge_cut_fraction:.1%}) "
             f"overlap={self.mean_consecutive_overlap:.1f} "
-            f"moved/switch={self.estimated_moved_fraction:.1%}"
+            f"moved/switch={self.estimated_moved_fraction:.1%} "
+            f"sweeps={self.sweeps_unfused}->{self.sweeps_fused}"
         )
 
 
 def evaluate_partition(
-    circuit: QuantumCircuit, partition: Partition
+    circuit: QuantumCircuit,
+    partition: Partition,
+    *,
+    max_fused_qubits: Optional[int] = None,
 ) -> PartitionMetrics:
-    """Compute :class:`PartitionMetrics` for a partition of ``circuit``."""
+    """Compute :class:`PartitionMetrics` for a partition of ``circuit``.
+
+    ``max_fused_qubits`` caps the fusion arity used for the fused cost
+    columns; it defaults to :data:`~repro.sv.fusion.DEFAULT_MAX_FUSED_QUBITS`
+    clipped to the partition's working-set limit.
+    """
     k = partition.num_parts
     if k == 0:
         return PartitionMetrics(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0, 0)
@@ -68,6 +95,24 @@ def evaluate_partition(
         incoming = len(qb - qa)
         moved.append(1.0 - 0.5**incoming if incoming else 0.0)
 
+    if max_fused_qubits is None:
+        max_fused_qubits = DEFAULT_MAX_FUSED_QUBITS
+        if partition.limit:
+            max_fused_qubits = min(max_fused_qubits, partition.limit)
+    n = circuit.num_qubits
+    sweeps_unfused = partition.num_gates
+    sweeps_fused = 0
+    flops_unfused = 0
+    flops_fused = 0
+    for part in partition.parts:
+        gates = [circuit[g] for g in part.gate_indices]
+        for g in gates:
+            flops_unfused += flops_for_gate(g.num_qubits, n, g.is_diagonal)
+        cap = max(1, min(max_fused_qubits, part.working_set_size))
+        for grp in plan_fusion_groups(gates, cap):
+            sweeps_fused += 1
+            flops_fused += flops_for_gate(len(grp.qubits), n, grp.diagonal)
+
     gpp = partition.gates_per_part()
     return PartitionMetrics(
         num_parts=k,
@@ -82,4 +127,8 @@ def evaluate_partition(
         estimated_moved_fraction=sum(moved) / len(moved) if moved else 0.0,
         gates_per_part_min=min(gpp),
         gates_per_part_max=max(gpp),
+        sweeps_unfused=sweeps_unfused,
+        sweeps_fused=sweeps_fused,
+        flops_unfused=flops_unfused,
+        flops_fused=flops_fused,
     )

@@ -1,5 +1,16 @@
-"""State-vector engines: kernels, flat simulator, hierarchical executor."""
+"""State-vector engines: kernels, flat simulator, hierarchical executor,
+part-level gate fusion."""
 
+from .fusion import (
+    DEFAULT_MAX_FUSED_QUBITS,
+    CompiledPartPlan,
+    FusedGate,
+    FusionGroup,
+    PlanCache,
+    compile_part,
+    compile_partition,
+    plan_fusion_groups,
+)
 from .hier import ExecutionTrace, HierarchicalExecutor, pad_working_set
 from .kernels import (
     apply_circuit,
@@ -22,6 +33,14 @@ from .pauli import energy, pauli_expectation
 from .simulator import StateVectorSimulator, random_state, zero_state
 
 __all__ = [
+    "DEFAULT_MAX_FUSED_QUBITS",
+    "CompiledPartPlan",
+    "FusedGate",
+    "FusionGroup",
+    "PlanCache",
+    "compile_part",
+    "compile_partition",
+    "plan_fusion_groups",
     "ExecutionTrace",
     "HierarchicalExecutor",
     "pad_working_set",

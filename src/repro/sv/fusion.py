@@ -1,0 +1,424 @@
+"""Part-level gate fusion and compiled execution plans.
+
+The paper treats acyclic partitioning as "orthogonal and complementary"
+to gate fusion (Sec. II-C); this module supplies the complementary half.
+A part's (already ordered) gate list is greedily grouped into maximal
+``<= max_fused_qubits`` unitaries, each group's product matrix is built
+once, and the result is kept in a :class:`CompiledPartPlan` so a part
+that executes repeatedly — parameter sweeps, distributed shards,
+benchmark reruns — pays matrix construction a single time.
+
+Grouping is dependency-respecting by construction: gate ``g`` may only
+join a group at or after the last group touching any of ``g``'s qubits,
+so any pair of gates whose relative order changes acts on disjoint
+qubits and commutes.  It is diagonal-aware twice over: a group whose
+members are all diagonal stays on the copy-free broadcast kernel, and
+all-diagonal groups may grow to ``max_diag_qubits`` (diagonal products
+cost one multiply per amplitude regardless of arity, so wider diagonal
+fusion is pure win).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..circuits.gates import Gate
+from .kernels import apply_matrix_batched
+from .layout import extract_bits, gather_index_table
+
+__all__ = [
+    "FusedGate",
+    "FusionGroup",
+    "plan_fusion_groups",
+    "CompiledPartPlan",
+    "PlanCache",
+    "compile_part",
+    "compile_partition",
+    "DEFAULT_MAX_FUSED_QUBITS",
+]
+
+DEFAULT_MAX_FUSED_QUBITS = 5
+#: All-diagonal groups may exceed the dense limit by this many qubits.
+DIAGONAL_BONUS_QUBITS = 2
+
+
+@dataclass(frozen=True)
+class FusionGroup:
+    """One fusion group: member positions (in the source gate list, in
+    original order), the union working set in first-seen operand order,
+    and whether every member is diagonal."""
+
+    members: Tuple[int, ...]
+    qubits: Tuple[int, ...]
+    diagonal: bool
+
+
+def plan_fusion_groups(
+    gates: Sequence[Gate],
+    max_fused_qubits: int,
+    max_diag_qubits: Optional[int] = None,
+) -> List[FusionGroup]:
+    """Greedily group a gate list into fusable chunks (no matrices built).
+
+    First-fit from the earliest dependency-legal group: gate ``g`` may be
+    placed in any group at or after the last group that touches one of
+    ``g``'s qubits.  Groups are emitted in creation order with members in
+    source order, which reproduces the original gate order up to swaps of
+    disjoint (hence commuting) gates.
+    """
+    if max_fused_qubits < 1:
+        raise ValueError("max_fused_qubits must be >= 1")
+    if max_diag_qubits is None:
+        max_diag_qubits = max_fused_qubits + DIAGONAL_BONUS_QUBITS
+    if max_diag_qubits < max_fused_qubits:
+        raise ValueError("max_diag_qubits must be >= max_fused_qubits")
+
+    members: List[List[int]] = []
+    qubit_order: List[List[int]] = []  # first-seen operand order per group
+    qubit_sets: List[set] = []
+    all_diag: List[bool] = []
+    last_group_of: Dict[int, int] = {}
+
+    for i, g in enumerate(gates):
+        # Gate g may join the group holding its latest same-qubit
+        # predecessor (members stay in source order) or any later group,
+        # but never an earlier one.
+        earliest = 0
+        for q in g.qubits:
+            earliest = max(earliest, last_group_of.get(q, 0))
+        placed = -1
+        for j in range(earliest, len(members)):
+            union = qubit_sets[j] | set(g.qubits)
+            limit = (
+                max_diag_qubits
+                if (all_diag[j] and g.is_diagonal)
+                else max_fused_qubits
+            )
+            if len(union) <= limit:
+                placed = j
+                break
+        if placed < 0:
+            members.append([])
+            qubit_order.append([])
+            qubit_sets.append(set())
+            all_diag.append(True)
+            placed = len(members) - 1
+        members[placed].append(i)
+        for q in g.qubits:
+            if q not in qubit_sets[placed]:
+                qubit_sets[placed].add(q)
+                qubit_order[placed].append(q)
+            last_group_of[q] = placed
+        all_diag[placed] = all_diag[placed] and g.is_diagonal
+
+    return [
+        FusionGroup(tuple(m), tuple(qs), d)
+        for m, qs, d in zip(members, qubit_order, all_diag)
+    ]
+
+
+class FusedGate:
+    """A fused unitary over a small qubit tuple.
+
+    Duck-type compatible with :class:`~repro.circuits.gates.Gate` where the
+    executors and the cost model need it: ``qubits``, ``num_qubits``,
+    ``is_diagonal`` and ``matrix()``.  The matrix is built once and shared
+    read-only; ``matrix()`` intentionally does *not* copy.
+    """
+
+    __slots__ = ("qubits", "diagonal", "source_indices", "_matrix")
+
+    def __init__(
+        self,
+        qubits: Tuple[int, ...],
+        matrix: np.ndarray,
+        diagonal: bool,
+        source_indices: Tuple[int, ...] = (),
+    ) -> None:
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError(
+                f"fused matrix shape {matrix.shape} does not match "
+                f"{k} qubits"
+            )
+        self.qubits = tuple(qubits)
+        self.diagonal = bool(diagonal)
+        self.source_indices = tuple(source_indices)
+        matrix = np.ascontiguousarray(matrix, dtype=np.complex128)
+        matrix.setflags(write=False)
+        self._matrix = matrix
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_diagonal(self) -> bool:
+        return self.diagonal
+
+    def matrix(self) -> np.ndarray:
+        """The fused unitary (shared, read-only — do not mutate)."""
+        return self._matrix
+
+    def remap(self, mapping: Dict[int, int]) -> "FusedGate":
+        """Rename operands through ``mapping``; the matrix is shared."""
+        out = FusedGate.__new__(FusedGate)
+        out.qubits = tuple(mapping[q] for q in self.qubits)
+        out.diagonal = self.diagonal
+        out.source_indices = self.source_indices
+        out._matrix = self._matrix
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "diag" if self.diagonal else "dense"
+        return (
+            f"FusedGate({tag}, qubits={list(self.qubits)}, "
+            f"fuses={len(self.source_indices)})"
+        )
+
+
+def _group_matrix(gates: Sequence[Gate], group: FusionGroup) -> np.ndarray:
+    """Product matrix of a group over its qubit tuple (first operand =
+    least significant bit of the local index, matching the Gate
+    convention)."""
+    k = len(group.qubits)
+    pos = {q: i for i, q in enumerate(group.qubits)}
+    if len(group.members) == 1:
+        g = gates[group.members[0]]
+        if g.qubits == group.qubits:
+            return g.matrix()
+    if group.diagonal:
+        diag = np.ones(1 << k, dtype=np.complex128)
+        idx = np.arange(1 << k, dtype=np.int64)
+        for m in group.members:
+            g = gates[m]
+            gd = np.ascontiguousarray(np.diag(g.matrix()))
+            diag *= gd[extract_bits(idx, [pos[q] for q in g.qubits])]
+        return np.diag(diag)
+    # Columns of the accumulated product are states of the k-qubit space;
+    # keep them as *rows* so each member applies via the batched kernel,
+    # then transpose once at the end.
+    cols = np.eye(1 << k, dtype=np.complex128)
+    for m in group.members:
+        g = gates[m]
+        apply_matrix_batched(
+            cols,
+            g.matrix(),
+            [pos[q] for q in g.qubits],
+            k,
+            diagonal=g.is_diagonal,
+        )
+    return np.ascontiguousarray(cols.T)
+
+
+class CompiledPartPlan:
+    """A part's gate list compiled to fused ops, plus cached index tables.
+
+    ``ops`` carry **global** qubit labels (usable directly by the
+    distributed engines, whose remap step makes part qubits local);
+    :meth:`local_ops` returns the same ops renamed to positions within
+    ``qubits`` for the hierarchical gather/execute/scatter path.
+    """
+
+    __slots__ = (
+        "qubits",
+        "ops",
+        "num_source_gates",
+        "fused",
+        "max_fused_qubits",
+        "_local_ops",
+        "_table",
+    )
+
+    def __init__(
+        self,
+        qubits: Tuple[int, ...],
+        ops: Tuple[FusedGate, ...],
+        num_source_gates: int,
+        fused: bool,
+        max_fused_qubits: int,
+    ) -> None:
+        self.qubits = tuple(qubits)
+        self.ops = tuple(ops)
+        self.num_source_gates = int(num_source_gates)
+        self.fused = bool(fused)
+        self.max_fused_qubits = int(max_fused_qubits)
+        self._local_ops: Optional[Tuple[FusedGate, ...]] = None
+        self._table: Optional[Tuple[int, np.ndarray]] = None
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    @property
+    def sweeps_saved(self) -> int:
+        """Kernel sweeps avoided relative to one sweep per source gate."""
+        return self.num_source_gates - self.num_ops
+
+    def local_ops(self) -> Tuple[FusedGate, ...]:
+        """Ops with operands renamed to inner positions (cached)."""
+        if self._local_ops is None:
+            pos = {q: i for i, q in enumerate(self.qubits)}
+            self._local_ops = tuple(op.remap(pos) for op in self.ops)
+        return self._local_ops
+
+    #: Gather tables above this many int64 elements (2 MB) are rebuilt per
+    #: call instead of retained — plans live in long-lived caches, and an
+    #: O(2^n) table pinned per part would dwarf the fused matrices.
+    _TABLE_CACHE_MAX_ELEMENTS = 1 << 18
+
+    def gather_table(self, num_qubits: int) -> np.ndarray:
+        """Algorithm-1 gather table for this working set (small ones cached)."""
+        if self._table is not None and self._table[0] == num_qubits:
+            return self._table[1]
+        table = gather_index_table(num_qubits, self.qubits)
+        if table.size <= self._TABLE_CACHE_MAX_ELEMENTS:
+            self._table = (num_qubits, table)
+        return table
+
+
+def compile_part(
+    circuit: QuantumCircuit,
+    gate_indices: Sequence[int],
+    inner_qubits: Sequence[int],
+    *,
+    fuse: bool = True,
+    max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+) -> CompiledPartPlan:
+    """Compile one part's gates against working set ``inner_qubits``.
+
+    Fusion arity is capped by the working-set size; with ``fuse=False``
+    every gate becomes its own (single-member) op so both paths execute
+    through the identical plan machinery.
+    """
+    gates = [circuit[g] for g in gate_indices]
+    width = len(inner_qubits)
+    effective = max(1, min(max_fused_qubits, width)) if width else 1
+    if fuse and len(gates) > 1:
+        groups = plan_fusion_groups(
+            gates,
+            effective,
+            min(effective + DIAGONAL_BONUS_QUBITS, max(width, 1)),
+        )
+    else:
+        groups = [
+            FusionGroup((i,), g.qubits, g.is_diagonal)
+            for i, g in enumerate(gates)
+        ]
+    ops = tuple(
+        FusedGate(
+            grp.qubits,
+            _group_matrix(gates, grp),
+            grp.diagonal,
+            tuple(gate_indices[m] for m in grp.members),
+        )
+        for grp in groups
+    )
+    return CompiledPartPlan(
+        tuple(inner_qubits), ops, len(gates), bool(fuse), effective
+    )
+
+
+class PlanCache:
+    """Bounded cache of :class:`CompiledPartPlan` keyed by part identity.
+
+    Keys include ``id(circuit)``; the entry pins the circuit object so the
+    id cannot be recycled while its plans are alive.  One cache instance
+    may be shared across executors (hierarchical and distributed) and
+    across repeated runs — that sharing is what makes sweeps and shard
+    re-execution pay matrix construction once.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get_or_compile(
+        self,
+        circuit: QuantumCircuit,
+        gate_indices: Sequence[int],
+        inner_qubits: Sequence[int],
+        *,
+        fuse: bool = True,
+        max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+    ) -> CompiledPartPlan:
+        key = (
+            id(circuit),
+            tuple(gate_indices),
+            tuple(inner_qubits),
+            bool(fuse),
+            int(max_fused_qubits),
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        plan = compile_part(
+            circuit,
+            gate_indices,
+            inner_qubits,
+            fuse=fuse,
+            max_fused_qubits=max_fused_qubits,
+        )
+        self._entries[key] = (circuit, plan)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return plan
+
+
+def compile_partition(
+    circuit: QuantumCircuit,
+    partition,
+    *,
+    pad_to: int = 0,
+    fuse: bool = True,
+    max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+    cache: Optional[PlanCache] = None,
+) -> List[CompiledPartPlan]:
+    """Compile every part of a partition, in execution order."""
+    from .hier import pad_working_set  # local import: hier imports us too
+
+    n = circuit.num_qubits
+    plans: List[CompiledPartPlan] = []
+    for part in partition.parts:
+        inner = part.qubits
+        if pad_to:
+            inner = pad_working_set(inner, n, pad_to)
+        if cache is not None:
+            plans.append(
+                cache.get_or_compile(
+                    circuit,
+                    part.gate_indices,
+                    inner,
+                    fuse=fuse,
+                    max_fused_qubits=max_fused_qubits,
+                )
+            )
+        else:
+            plans.append(
+                compile_part(
+                    circuit,
+                    part.gate_indices,
+                    inner,
+                    fuse=fuse,
+                    max_fused_qubits=max_fused_qubits,
+                )
+            )
+    return plans

@@ -10,6 +10,14 @@ execute the part's gates on them, scatter results back.  Two engines:
 * ``mode="literal"``: the paper's loop — one inner state vector per
   combination of non-part qubits — kept for validation and cache tracing.
 
+Before execution, each part's gate list is compiled through
+:mod:`repro.sv.fusion` (default on): maximal ``<= max_fused_qubits``
+groups collapse to single unitaries, so a part of ``G`` gates costs
+``~G / fusion_factor`` kernel sweeps over the inner vectors instead of
+``G``.  Compiled plans are cached per part, so repeated executions of
+the same partition (sweeps, reruns) skip both grouping and matrix
+construction.  ``fuse=False`` reproduces the one-sweep-per-gate path.
+
 Working sets may be padded with extra qubits (``pad_to``) to exploit
 spatial locality, mirroring the paper's "add the qubits from the higher
 level part" rule.
@@ -18,31 +26,50 @@ level part" rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from ..circuits.gates import Gate
 from ..partition.base import Partition
-from .kernels import apply_gate, apply_gate_batched
-from .layout import gather_index_table
+from .fusion import DEFAULT_MAX_FUSED_QUBITS, CompiledPartPlan, PlanCache
+from .kernels import apply_matrix, apply_matrix_batched
 
 __all__ = ["HierarchicalExecutor", "ExecutionTrace", "pad_working_set"]
 
 
 @dataclass
 class ExecutionTrace:
-    """Per-part accounting collected during a hierarchical run."""
+    """Per-part accounting collected during a hierarchical run.
+
+    ``part_gates`` counts *source* gates per part (sums to the circuit's
+    gate count regardless of fusion); ``part_ops`` counts the kernel
+    sweeps actually executed after compilation — their difference is what
+    fusion saved.
+    """
 
     part_qubits: List[Tuple[int, ...]] = field(default_factory=list)
     part_gates: List[int] = field(default_factory=list)
+    part_ops: List[int] = field(default_factory=list)
     gather_elements: int = 0
     scatter_elements: int = 0
 
     @property
     def num_parts(self) -> int:
         return len(self.part_gates)
+
+    @property
+    def total_gates(self) -> int:
+        return sum(self.part_gates)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.part_ops)
+
+    @property
+    def sweeps_saved(self) -> int:
+        """Kernel sweeps avoided by fusion (0 when fusion is off)."""
+        return self.total_gates - self.total_ops
 
 
 def pad_working_set(
@@ -51,7 +78,9 @@ def pad_working_set(
     """Extend a working set to ``pad_to`` qubits with the lowest free qubits.
 
     Larger inner vectors amortise gather/scatter sweeps; the paper pads
-    small parts up to the level limit for spatial locality.
+    small parts up to the level limit for spatial locality.  A ``pad_to``
+    at or below the natural working-set size leaves the set unchanged
+    (padding never shrinks a part).
     """
     out = list(qubits)
     have = set(out)
@@ -64,14 +93,6 @@ def pad_working_set(
     return tuple(sorted(out))
 
 
-def _remap_gates(
-    circuit: QuantumCircuit, gate_indices: Sequence[int], inner_qubits: Sequence[int]
-) -> List[Gate]:
-    """Part gates with operands renamed to inner positions."""
-    pos: Dict[int, int] = {q: i for i, q in enumerate(inner_qubits)}
-    return [circuit[g].remap(pos) for g in gate_indices]
-
-
 class HierarchicalExecutor:
     """Runs a partitioned circuit against a full state vector.
 
@@ -81,13 +102,33 @@ class HierarchicalExecutor:
         ``"batched"`` or ``"literal"`` (see module docstring).
     pad_to:
         Pad each part's working set to this many qubits (0 = no padding).
+    fuse:
+        Compile each part's gates into fused unitaries before execution
+        (default on; numerically identical to the unfused path).
+    max_fused_qubits:
+        Arity cap for fused dense unitaries (clipped to the working-set
+        size per part).
+    plan_cache:
+        Optional shared :class:`~repro.sv.fusion.PlanCache`; pass one to
+        reuse compiled plans across executors and engines.
     """
 
-    def __init__(self, mode: str = "batched", pad_to: int = 0) -> None:
+    def __init__(
+        self,
+        mode: str = "batched",
+        pad_to: int = 0,
+        *,
+        fuse: bool = True,
+        max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
         if mode not in ("batched", "literal"):
             raise ValueError("mode must be 'batched' or 'literal'")
         self.mode = mode
         self.pad_to = pad_to
+        self.fuse = bool(fuse)
+        self.max_fused_qubits = int(max_fused_qubits)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
 
     def run(
         self,
@@ -106,38 +147,48 @@ class HierarchicalExecutor:
             inner_qubits = part.qubits
             if self.pad_to:
                 inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
-            self._run_part(circuit, part.gate_indices, inner_qubits, state, n, trace)
+            plan = self.plan_cache.get_or_compile(
+                circuit,
+                part.gate_indices,
+                inner_qubits,
+                fuse=self.fuse,
+                max_fused_qubits=self.max_fused_qubits,
+            )
+            self._run_part(plan, state, n, trace)
         return state
 
     # -- internals --------------------------------------------------------
 
     def _run_part(
         self,
-        circuit: QuantumCircuit,
-        gate_indices: Sequence[int],
-        inner_qubits: Sequence[int],
+        plan: CompiledPartPlan,
         state: np.ndarray,
         n: int,
         trace: Optional[ExecutionTrace],
     ) -> None:
-        w = len(inner_qubits)
-        gates = _remap_gates(circuit, gate_indices, inner_qubits)
-        table = gather_index_table(n, inner_qubits)
+        w = len(plan.qubits)
+        ops = plan.local_ops()
+        table = plan.gather_table(n)
         if self.mode == "batched":
             # Gather every inner state vector at once: rows of a matrix.
             inner = state[table]  # (2^(n-w), 2^w) copy
-            for g in gates:
-                apply_gate_batched(inner, g, w)
+            for op in ops:
+                apply_matrix_batched(
+                    inner, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
+                )
             state[table] = inner
         else:
             # Algorithm 1 verbatim: one inner vector per outer combination.
             for t in range(table.shape[0]):
                 in_sv = state[table[t]].copy()
-                for g in gates:
-                    apply_gate(in_sv, g, w)
+                for op in ops:
+                    apply_matrix(
+                        in_sv, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
+                    )
                 state[table[t]] = in_sv
         if trace is not None:
-            trace.part_qubits.append(tuple(inner_qubits))
-            trace.part_gates.append(len(gates))
+            trace.part_qubits.append(tuple(plan.qubits))
+            trace.part_gates.append(plan.num_source_gates)
+            trace.part_ops.append(plan.num_ops)
             trace.gather_elements += table.size
             trace.scatter_elements += table.size

@@ -83,8 +83,12 @@ def apply_matrix(
         raise ValueError(
             f"matrix shape {matrix.shape} does not match {k} qubits"
         )
-    if state.shape[-1] != 1 << num_qubits and state.size != 1 << num_qubits:
-        raise ValueError("state size does not match num_qubits")
+    if state.size != 1 << num_qubits:
+        raise ValueError(
+            f"state has {state.size} amplitudes but num_qubits="
+            f"{num_qubits} requires {1 << num_qubits}; for batched "
+            f"(B, 2^k) inputs use apply_matrix_batched"
+        )
     view = state.reshape((2,) * num_qubits)
     axes = _gate_axes(num_qubits, num_qubits, qubits, lead=0)
     if diagonal:

@@ -96,6 +96,13 @@ class StateVectorSimulator:
         if qubits is None:
             return p
         qubits = list(qubits)
+        if len(set(qubits)) != len(qubits):
+            raise ValueError(f"qubits must be distinct, got {qubits}")
+        if any(not 0 <= q < self.num_qubits for q in qubits):
+            raise ValueError(
+                f"qubits {qubits} out of range for {self.num_qubits}-qubit "
+                f"register"
+            )
         keys = extract_bits(np.arange(self.state.size, dtype=np.int64), qubits)
         out = np.zeros(1 << len(qubits))
         np.add.at(out, keys, p)

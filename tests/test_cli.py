@@ -43,6 +43,30 @@ class TestCli:
         files = os.listdir(tmp_path)
         assert any(f.startswith("table4") for f in files)
 
+    def test_simulate_fused(self, capsys):
+        assert main(["simulate", "qft", "--qubits", "8", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "fusion=on" in out
+        assert "saved" in out
+        assert "max |fused - flat|" in out
+
+    def test_simulate_no_fuse(self, capsys):
+        assert main(
+            ["simulate", "bv", "--qubits", "8", "--no-fuse", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fusion=off" in out
+        assert "(saved 0)" in out
+
+    def test_simulate_options(self, capsys):
+        assert main([
+            "simulate", "ising", "--qubits", "8", "--limit", "5",
+            "--strategy", "Nat", "--max-fused-qubits", "3", "--pad-to", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=Nat" in out
+        assert "max_fused_qubits=3" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus-command"])

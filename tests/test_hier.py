@@ -72,6 +72,24 @@ class TestPadding:
         HierarchicalExecutor(pad_to=6).run(qc, p, state)
         assert np.allclose(state, reference_state(qc), atol=1e-9)
 
+    @pytest.mark.parametrize("fuse", [True, False])
+    def test_pad_to_smaller_than_natural_working_set(self, fuse):
+        # pad_to below a part's natural working set must never shrink the
+        # set: execution stays correct and traced sets cover the parts.
+        qc = generators.build("qft", 7)
+        p = get_partitioner("dagP").partition(qc, 5)
+        assert p.max_working_set() > 2
+        trace = ExecutionTrace()
+        state = zero_state(7)
+        HierarchicalExecutor(pad_to=2, fuse=fuse).run(qc, p, state, trace=trace)
+        assert np.allclose(state, reference_state(qc), atol=1e-10)
+        for traced, part in zip(trace.part_qubits, p.parts):
+            assert set(part.qubits) <= set(traced)
+            assert len(traced) == part.working_set_size  # no padding added
+
+    def test_pad_working_set_never_shrinks(self):
+        assert pad_working_set((1, 4, 6), 8, 2) == (1, 4, 6)
+
 
 class TestTrace:
     def test_trace_accounting(self):
@@ -86,6 +104,41 @@ class TestTrace:
         assert trace.scatter_elements == trace.gather_elements
         for qubits, part in zip(trace.part_qubits, p.parts):
             assert set(part.qubits) <= set(qubits)
+
+
+class TestFusedTrace:
+    @pytest.mark.parametrize("mode", ["batched", "literal"])
+    def test_fused_and_unfused_agree_with_flat(self, mode):
+        qc = generators.build("qft", 7)
+        p = get_partitioner("dagP").partition(qc, 5)
+        ref = reference_state(qc)
+        for fuse in (True, False):
+            state = zero_state(7)
+            HierarchicalExecutor(mode=mode, fuse=fuse).run(qc, p, state)
+            assert np.allclose(state, ref, atol=1e-10), (mode, fuse)
+
+    @pytest.mark.parametrize("mode", ["batched", "literal"])
+    def test_trace_accounting_fused_vs_unfused(self, mode):
+        qc = generators.build("qft", 7)
+        p = get_partitioner("dagP").partition(qc, 5)
+        fused, unfused = ExecutionTrace(), ExecutionTrace()
+        HierarchicalExecutor(mode=mode, fuse=True).run(
+            qc, p, zero_state(7), trace=fused
+        )
+        HierarchicalExecutor(mode=mode, fuse=False).run(
+            qc, p, zero_state(7), trace=unfused
+        )
+        # Source-gate accounting is fusion-invariant.
+        assert fused.part_gates == unfused.part_gates
+        assert fused.total_gates == unfused.total_gates == len(qc)
+        assert fused.part_qubits == unfused.part_qubits
+        assert fused.gather_elements == unfused.gather_elements
+        # Executed-sweep accounting reflects fusion.
+        assert unfused.total_ops == len(qc)
+        assert unfused.sweeps_saved == 0
+        assert fused.total_ops < len(qc)
+        assert fused.sweeps_saved == len(qc) - fused.total_ops
+        assert all(o >= 1 for o in fused.part_ops)
 
 
 class TestValidation:

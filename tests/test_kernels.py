@@ -129,6 +129,17 @@ class TestValidation:
         with pytest.raises(ValueError):
             apply_matrix_batched(np.zeros((2, 7), dtype=complex), np.eye(2), (0,), 3)
 
+    def test_state_size_mismatch_clear_error(self):
+        with pytest.raises(ValueError, match="amplitudes"):
+            apply_matrix(zero_state(4), np.eye(2), (0,), 3)
+
+    def test_batched_array_rejected_by_flat_kernel(self):
+        # Regression: a (B, 2^n) batch has a matching last axis and used to
+        # slip past the guard, dying inside reshape with an opaque error.
+        batch = np.zeros((4, 8), dtype=np.complex128)
+        with pytest.raises(ValueError, match="apply_matrix_batched"):
+            apply_matrix(batch, np.eye(2), (0,), 3)
+
 
 class TestCostModels:
     def test_flops_single_qubit_matches_paper(self):

@@ -62,4 +62,40 @@ class TestEvaluate:
     def test_summary_renders(self):
         _, _, m = self._metrics()
         s = m.summary()
-        assert "parts=" in s and "cut=" in s
+        assert "parts=" in s and "cut=" in s and "sweeps=" in s
+
+
+class TestFusedCost:
+    def test_fused_cost_fields(self):
+        qc = generators.build("qft", 10)
+        p = get_partitioner("dagP").partition(qc, 7)
+        m = evaluate_partition(qc, p)
+        assert m.sweeps_unfused == len(qc)
+        assert 0 < m.sweeps_fused < m.sweeps_unfused
+        assert m.fusion_factor > 1.0
+        assert m.flops_unfused > 0 and m.flops_fused > 0
+
+    def test_cap_one_disables_dense_fusion_gains(self):
+        qc = generators.build("grover", 9)
+        p = get_partitioner("dagP").partition(qc, 6)
+        wide = evaluate_partition(qc, p, max_fused_qubits=5)
+        narrow = evaluate_partition(qc, p, max_fused_qubits=1)
+        assert wide.sweeps_fused <= narrow.sweeps_fused
+
+    def test_unfused_flops_match_kernel_model(self):
+        from repro.sv.kernels import flops_for_gate
+
+        qc = generators.build("bv", 8)
+        p = get_partitioner("Nat").partition(qc, 5)
+        m = evaluate_partition(qc, p)
+        expect = sum(
+            flops_for_gate(g.num_qubits, 8, g.is_diagonal) for g in qc
+        )
+        assert m.flops_unfused == expect
+
+    def test_empty_partition_zero_cost(self):
+        qc = QuantumCircuit(2)
+        p = Partition.from_assignment(qc, [], 2, "t")
+        m = evaluate_partition(qc, p)
+        assert m.sweeps_fused == 0 and m.flops_fused == 0
+        assert m.fusion_factor == 0.0

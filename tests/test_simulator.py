@@ -80,6 +80,20 @@ class TestMeasurement:
         p01 = sim.probabilities(qubits=[0, 1])
         assert np.allclose(p01, [0.5, 0.5, 0, 0])
 
+    def test_probabilities_duplicate_qubits_rejected(self):
+        # Regression: duplicate bits collapsed in extract_bits and produced
+        # a silently wrong distribution instead of an error.
+        sim = StateVectorSimulator(3)
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        sim.run(qc)
+        with pytest.raises(ValueError, match="distinct"):
+            sim.probabilities(qubits=[0, 0])
+
+    def test_probabilities_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            StateVectorSimulator(2).probabilities(qubits=[2])
+
     def test_sampling_matches_distribution(self):
         sim = StateVectorSimulator(1)
         qc = QuantumCircuit(1)

@@ -13,6 +13,7 @@ from repro.circuits.gates import gate_matrix
 from repro.circuits.qasm import loads
 from repro.circuits.transforms import (
     decompose_u3,
+    decompose_unitary_1q,
     fuse_single_qubit_runs,
     inverse_circuit,
     remap_circuit,
@@ -57,6 +58,34 @@ class TestDecomposeU3:
     def test_shape_check(self):
         with pytest.raises(ValueError):
             decompose_u3(np.eye(4))
+
+    def test_non_unitary_clearly_rejected(self):
+        shear = np.array([[1.0, 1.0], [0.0, 1.0]], dtype=np.complex128)
+        with pytest.raises(ValueError, match="not unitary"):
+            decompose_unitary_1q(shear)
+
+    def test_near_unitary_is_tolerance_failure_not_nonunitary(self):
+        # Regression: a unitary perturbed by ~1e-8 used to raise the
+        # misleading "matrix is not unitary"; it must now raise a distinct
+        # tolerance error at the default atol and succeed at a looser one.
+        m = gate_matrix("u3", (0.9, 0.4, -1.3))
+        noisy = m + 1e-8 * np.array([[1, -1], [1j, 1]], dtype=np.complex128)
+        with pytest.raises(ValueError, match="atol"):
+            decompose_unitary_1q(noisy)
+        alpha, theta, phi, lam = decompose_unitary_1q(noisy, atol=1e-6)
+        rebuilt = np.exp(1j * alpha) * gate_matrix("u3", (theta, phi, lam))
+        assert np.allclose(rebuilt, noisy, atol=1e-6)
+
+    def test_atol_looser_than_unitarity_gate_wins(self):
+        # An atol above the fixed unitarity limit loosens that gate too:
+        # a ~1e-5-perturbed unitary decomposes at atol=1e-4.
+        m = gate_matrix("u3", (0.9, 0.4, -1.3))
+        noisy = m + 1e-5 * np.array([[1, 1], [-1, 1j]], dtype=np.complex128)
+        with pytest.raises(ValueError):
+            decompose_unitary_1q(noisy)
+        alpha, theta, phi, lam = decompose_unitary_1q(noisy, atol=1e-4)
+        rebuilt = np.exp(1j * alpha) * gate_matrix("u3", (theta, phi, lam))
+        assert np.allclose(rebuilt, noisy, atol=1e-4)
 
 
 class TestFusion:

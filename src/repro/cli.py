@@ -7,12 +7,15 @@ Usage::
     repro all --scale paper          # everything, saved under results/
     repro circuit bv --qubits 16     # inspect a generated circuit
     repro simulate qft --qubits 16 --no-fuse   # partitioned execution
+    repro simulate qft --qubits 20 --backend threaded --threads 4
 
 Each experiment prints its paper-shaped table and (with ``--save``) writes
 it under ``results/``.  ``simulate`` partitions a generated circuit, runs
 it through the hierarchical executor (part-level gate fusion on by
-default; disable with ``--no-fuse``) and reports the compiled sweep
-counts plus a cross-check against the flat simulator.
+default; disable with ``--no-fuse``; pick where sweeps run with
+``--backend serial|threaded|process`` and ``--threads``) and reports the
+compiled sweep counts, per-backend wall time and a cross-check against
+the flat simulator.
 """
 
 from __future__ import annotations
@@ -83,12 +86,15 @@ def _simulate(args) -> int:
     p = get_partitioner(args.strategy).partition(qc, limit)
     trace = ExecutionTrace()
     state = zero_state(qc.num_qubits)
-    t0 = time.perf_counter()
-    HierarchicalExecutor(
+    executor = HierarchicalExecutor(
         pad_to=args.pad_to,
         fuse=args.fuse,
         max_fused_qubits=args.max_fused_qubits,
-    ).run(qc, p, state, trace=trace)
+        backend=args.backend,
+        threads=args.threads,
+    )
+    t0 = time.perf_counter()
+    executor.run(qc, p, state, trace=trace)
     elapsed = time.perf_counter() - t0
     m = evaluate_partition(qc, p, max_fused_qubits=args.max_fused_qubits)
     print(
@@ -100,6 +106,14 @@ def _simulate(args) -> int:
         f"(max_fused_qubits={args.max_fused_qubits}): "
         f"sweeps={trace.total_ops} of {trace.total_gates} gate sweeps "
         f"(saved {trace.sweeps_saved})"
+    )
+    parts_by_backend = ", ".join(
+        f"{name}: {count}" for name, count in trace.backend_parts.items()
+    )
+    print(
+        f"backend={executor.backend.describe()} "
+        f"(parts by backend: {parts_by_backend}) "
+        f"part wall time {trace.total_seconds:.3f}s"
     )
     print(m.summary())
     print(f"executed in {elapsed:.3f}s")
@@ -153,6 +167,13 @@ def main(argv=None) -> int:
     p_sim.add_argument("--no-fuse", dest="fuse", action="store_false",
                        help="one kernel sweep per gate")
     p_sim.add_argument("--max-fused-qubits", type=int, default=5)
+    p_sim.add_argument("--backend", default=None,
+                       choices=["serial", "threaded", "process"],
+                       help="execution backend (default: REPRO_BACKEND "
+                            "or serial)")
+    p_sim.add_argument("--threads", type=int, default=None,
+                       help="worker count for threaded/process backends "
+                            "(default: REPRO_THREADS or core count)")
     p_sim.add_argument("--pad-to", type=int, default=0)
     p_sim.add_argument("--verify", action="store_true",
                        help="cross-check against the flat simulator")

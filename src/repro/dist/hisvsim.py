@@ -27,6 +27,7 @@ from ..partition.multilevel import MultilevelPartition
 from ..runtime.comm import SimComm
 from ..runtime.machine import FRONTERA_LIKE, MachineModel
 from ..runtime.metrics import ComputeStats, RunReport
+from ..sv.backend import ExecutionBackend, resolve_backend
 from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, PlanCache
 from ._cost import charge_gate
 from .analytic import LayoutOnlyState
@@ -65,6 +66,14 @@ class HiSVSimEngine:
         Optional shared :class:`~repro.sv.fusion.PlanCache` — pass the
         hierarchical executor's cache to share compiled parts across
         engines.
+    backend:
+        Execution backend for the shard sweeps (rank rows are
+        independent, so parallel backends split them block-wise):
+        an :class:`~repro.sv.backend.ExecutionBackend`, a name, or
+        ``None`` to follow ``REPRO_BACKEND``.  Model accounting is
+        backend-independent; only measured wall time changes.
+    threads:
+        Worker count for a backend resolved by name/environment.
     """
 
     def __init__(
@@ -77,6 +86,8 @@ class HiSVSimEngine:
         fuse: bool = False,
         max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
         plan_cache: Optional[PlanCache] = None,
+        backend=None,
+        threads: Optional[int] = None,
     ) -> None:
         if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
             raise ValueError("num_ranks must be a positive power of two")
@@ -87,6 +98,7 @@ class HiSVSimEngine:
         self.fuse = bool(fuse)
         self.max_fused_qubits = int(max_fused_qubits)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.backend: ExecutionBackend = resolve_backend(backend, threads)
 
     # -- public API ---------------------------------------------------------
 
@@ -238,7 +250,7 @@ class HiSVSimEngine:
                     self.machine, compute, op, local_bits, working_set
                 )
                 if not self.dry_run:
-                    state.apply_gate_local(op)
+                    state.apply_gate_local(op, backend=self.backend)
         return seconds
 
     def _ops_for(

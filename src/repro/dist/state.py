@@ -163,21 +163,38 @@ class DistributedStateVector(LayoutQueriesMixin):
 
     # -- local computation ----------------------------------------------------
 
-    def apply_local_matrix(self, matrix: np.ndarray, qubits, diagonal=False) -> None:
-        """Apply a unitary whose operands are all locally resident."""
+    def apply_local_matrix(
+        self, matrix: np.ndarray, qubits, diagonal=False, backend=None
+    ) -> None:
+        """Apply a unitary whose operands are all locally resident.
+
+        ``backend`` (an :class:`~repro.sv.backend.ExecutionBackend`)
+        chooses where the shard sweep runs; rank rows are independent,
+        so parallel backends split them block-wise.  ``None`` keeps the
+        direct serial kernel.
+        """
         positions = [self.layout.position(q) for q in qubits]
         if any(p >= self.local_bits for p in positions):
             raise ValueError(
                 f"operands {tuple(qubits)} are not all local under the "
                 f"current layout"
             )
-        apply_matrix_batched(
-            self.shards, matrix, positions, self.local_bits, diagonal=diagonal
-        )
+        if backend is None:
+            apply_matrix_batched(
+                self.shards, matrix, positions, self.local_bits,
+                diagonal=diagonal,
+            )
+        else:
+            backend.apply_matrix_rows(
+                self.shards, matrix, positions, self.local_bits,
+                diagonal=diagonal,
+            )
 
-    def apply_gate_local(self, gate) -> None:
+    def apply_gate_local(self, gate, backend=None) -> None:
         """Apply a :class:`~repro.circuits.gates.Gate` with local operands."""
-        self.apply_local_matrix(gate.matrix(), gate.qubits, gate.is_diagonal)
+        self.apply_local_matrix(
+            gate.matrix(), gate.qubits, gate.is_diagonal, backend=backend
+        )
 
     def apply_diagonal_global(self, gate) -> None:
         """Apply a diagonal gate regardless of operand residency.

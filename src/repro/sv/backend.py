@@ -1,0 +1,663 @@
+"""Pluggable execution backends: where kernel sweeps actually run.
+
+The hierarchical executor reduces every part to the same shape of work:
+apply a compiled op sequence to the rows of the ``(2^(n-w), 2^w)``
+gather matrix (``mode="batched"``), or to one gathered inner vector at a
+time (``mode="literal"``).  Rows are independent — a gate only mixes
+amplitudes *within* a row — so row blocks can execute concurrently with
+no synchronisation beyond the part boundary.  This module turns that
+observation into an :class:`ExecutionBackend` seam with three
+implementations:
+
+* :class:`SerialBackend` — the single-threaded baseline (exact previous
+  behaviour of the executor and engines).
+* :class:`ThreadedBackend` — splits the row range into ``threads``
+  deterministic contiguous blocks and runs them on a shared
+  ``ThreadPoolExecutor``.  The heavy work per block is a GEMM
+  (``numpy`` matmul) which releases the GIL into BLAS, so this yields
+  real shared-memory parallelism without processes.  Block boundaries
+  depend only on ``(rows, threads)`` and results are written back to
+  disjoint row slices, so output is **bit-identical** to serial
+  execution for any thread count.
+* :class:`ProcessBackend` — same row-block decomposition, but blocks run
+  in worker processes against the state held in
+  ``multiprocessing.shared_memory``; for circuits whose per-block GEMMs
+  are too small to amortise GIL-free BLAS sections.  Workers rebuild
+  their block of the gather table locally from ``(n, qubits, lo, hi)``
+  (:func:`~repro.sv.layout.gather_index_rows`), so only the compiled
+  ops cross the process boundary.
+
+Backends are selected per executor (``backend="threaded"``), from the
+CLI (``repro simulate --backend threaded --threads 4``) or globally via
+the environment (``REPRO_BACKEND`` / ``REPRO_THREADS``), and small
+workloads fall back to the serial path automatically
+(``min_parallel_elements``) so parallel dispatch overhead never taxes
+toy problems.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.gates import Gate
+from .kernels import apply_gate, apply_matrix, apply_matrix_batched
+from .layout import gather_index_rows
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "ProcessBackend",
+    "BACKEND_NAMES",
+    "get_backend",
+    "shared_backend",
+    "resolve_backend",
+    "split_blocks",
+    "DEFAULT_MIN_PARALLEL_ELEMENTS",
+    "DEFAULT_BLOCK_ELEMENTS",
+]
+
+#: Below this many gathered elements a parallel backend runs serially —
+#: dispatch overhead beats any speedup on toy states.  Override per
+#: instance (``min_parallel_elements=``) or globally via
+#: ``REPRO_MIN_PARALLEL``.
+DEFAULT_MIN_PARALLEL_ELEMENTS = 1 << 14
+
+#: Target amplitudes per threaded block (8 MB of complex128).  The
+#: threaded backend splits work into ``max(threads, size/target)``
+#: blocks: beyond pure parallelism, smaller blocks keep each block's
+#: gather/ops/scatter cache-resident across all of a part's fused ops,
+#: which is why threaded execution beats serial even on one core.
+DEFAULT_BLOCK_ELEMENTS = 1 << 19
+
+
+def _default_min_parallel() -> int:
+    return int(
+        os.environ.get("REPRO_MIN_PARALLEL", DEFAULT_MIN_PARALLEL_ELEMENTS)
+    )
+
+
+def _default_workers() -> int:
+    return os.cpu_count() or 1
+
+
+def split_blocks(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Deterministic contiguous ``[lo, hi)`` blocks covering ``range(total)``.
+
+    Depends only on ``(total, parts)`` — never on scheduling — which is
+    what makes threaded execution reproducible run-to-run: the same rows
+    always land in the same block, and blocks write disjoint slices.
+    """
+    if total < 0 or parts < 1:
+        raise ValueError("need total >= 0 and parts >= 1")
+    parts = max(1, min(parts, total))
+    base, rem = divmod(total, parts)
+    blocks: List[Tuple[int, int]] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < rem else 0)
+        blocks.append((lo, hi))
+        lo = hi
+    return blocks
+
+
+class ExecutionBackend:
+    """Strategy interface for running compiled sweeps.
+
+    Three entry points mirror the three call sites:
+
+    * :meth:`run_plan` — one hierarchical part: gather the inner
+      vectors, apply the part's compiled ops, scatter back.
+    * :meth:`apply_matrix_rows` — one unitary over a row-batched state
+      (the distributed engines' shard matrix).
+    * :meth:`apply_gate_flat` — one gate on a flat ``2^n`` state (the
+      flat simulator).
+
+    Backends may hold resources (pools, shared memory); ``close()``
+    releases them and instances are usable as context managers.
+    ``begin_run``/``end_run`` bracket a multi-part execution so backends
+    that stage the state elsewhere (shared memory) pay the round trip
+    once per run instead of once per part.
+    """
+
+    name = "abstract"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_run(self, state: np.ndarray) -> None:
+        """Called by the executor before the first part of a run."""
+
+    def end_run(self, state: np.ndarray) -> None:
+        """Called by the executor after the last part of a run."""
+
+    def close(self) -> None:
+        """Release pools/segments; the backend may be used again after."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- work --------------------------------------------------------------
+
+    def run_plan(
+        self,
+        plan,
+        state: np.ndarray,
+        num_qubits: int,
+        mode: str = "batched",
+    ) -> None:
+        raise NotImplementedError
+
+    def apply_matrix_rows(
+        self,
+        rows: np.ndarray,
+        matrix: np.ndarray,
+        positions: Sequence[int],
+        num_local: int,
+        *,
+        diagonal: bool = False,
+    ) -> None:
+        raise NotImplementedError
+
+    def apply_gate_flat(
+        self, state: np.ndarray, gate: Gate, num_qubits: int
+    ) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable identity, e.g. ``threaded[4]``."""
+        return self.name
+
+
+def _run_part_serial(plan, state: np.ndarray, num_qubits: int, mode: str) -> None:
+    """The baseline gather/execute/scatter loop (shared by all backends
+    as the small-workload fallback)."""
+    w = len(plan.qubits)
+    ops = plan.local_ops()
+    table = plan.gather_table(num_qubits)
+    if mode == "batched":
+        inner = state[table]  # (2^(n-w), 2^w) copy
+        for op in ops:
+            apply_matrix_batched(
+                inner, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
+            )
+        state[table] = inner
+    else:
+        for t in range(table.shape[0]):
+            in_sv = state[table[t]].copy()
+            for op in ops:
+                apply_matrix(
+                    in_sv, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
+                )
+            state[table[t]] = in_sv
+
+
+class SerialBackend(ExecutionBackend):
+    """Single-threaded execution — the reference all others must match."""
+
+    name = "serial"
+
+    def run_plan(self, plan, state, num_qubits, mode="batched"):
+        _run_part_serial(plan, state, num_qubits, mode)
+
+    def apply_matrix_rows(
+        self, rows, matrix, positions, num_local, *, diagonal=False
+    ):
+        apply_matrix_batched(
+            rows, matrix, positions, num_local, diagonal=diagonal
+        )
+
+    def apply_gate_flat(self, state, gate, num_qubits):
+        apply_gate(state, gate, num_qubits)
+
+
+class ThreadedBackend(ExecutionBackend):
+    """Row-block parallelism on a thread pool.
+
+    Parameters
+    ----------
+    threads:
+        Worker count (default: ``os.cpu_count()``).
+    min_parallel_elements:
+        Workloads touching fewer amplitudes than this run on the serial
+        path (default ``REPRO_MIN_PARALLEL`` or 16384).  Set 0 to force
+        parallel dispatch (the differential tests do).
+    block_elements:
+        Target amplitudes per block; work splits into
+        ``max(threads, total/block_elements)`` blocks (clipped to the
+        row count) so big parts get cache-sized blocks even when few
+        threads are requested.  Block boundaries depend only on sizes
+        and settings — never on scheduling — so results stay
+        reproducible.
+    """
+
+    name = "threaded"
+
+    def __init__(
+        self,
+        threads: Optional[int] = None,
+        *,
+        min_parallel_elements: Optional[int] = None,
+        block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+    ) -> None:
+        self.threads = int(threads) if threads else _default_workers()
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.min_parallel_elements = (
+            _default_min_parallel()
+            if min_parallel_elements is None
+            else int(min_parallel_elements)
+        )
+        self.block_elements = int(block_elements)
+        if self.block_elements < 1:
+            raise ValueError("block_elements must be >= 1")
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _num_blocks(self, rows: int, total_elements: int) -> int:
+        by_size = -(-total_elements // self.block_elements)  # ceil div
+        return min(rows, max(self.threads, by_size))
+
+    def describe(self) -> str:
+        return f"threaded[{self.threads}]"
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.threads,
+                    thread_name_prefix="repro-sv",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _map_blocks(self, fn, blocks) -> None:
+        """Run ``fn(lo, hi)`` per block; reuse the caller thread for the
+        last block so a 1-block dispatch never pays pool latency.
+
+        Every submitted block is drained before returning *or raising* —
+        propagating early would let pool threads keep mutating the
+        caller's state behind an unwinding stack (and lose their
+        errors).  The first failure (inline block first) is re-raised.
+        """
+        if len(blocks) == 1:
+            fn(*blocks[0])
+            return
+        pool = self._get_pool()
+        futures = [pool.submit(fn, lo, hi) for lo, hi in blocks[:-1]]
+        error: Optional[BaseException] = None
+        try:
+            fn(*blocks[-1])
+        except BaseException as exc:
+            error = exc
+        for f in futures:
+            try:
+                f.result()
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    # -- work --------------------------------------------------------------
+
+    def run_plan(self, plan, state, num_qubits, mode="batched"):
+        table = plan.gather_table(num_qubits)
+        rows = table.shape[0]
+        if rows < 2 or table.size < self.min_parallel_elements:
+            _run_part_serial(plan, state, num_qubits, mode)
+            return
+        w = len(plan.qubits)
+        ops = plan.local_ops()
+
+        if mode == "batched":
+
+            def block(lo: int, hi: int) -> None:
+                sub = table[lo:hi]
+                inner = state[sub]
+                for op in ops:
+                    apply_matrix_batched(
+                        inner, op.matrix(), op.qubits, w,
+                        diagonal=op.is_diagonal,
+                    )
+                state[sub] = inner
+
+        else:
+
+            def block(lo: int, hi: int) -> None:
+                for t in range(lo, hi):
+                    in_sv = state[table[t]].copy()
+                    for op in ops:
+                        apply_matrix(
+                            in_sv, op.matrix(), op.qubits, w,
+                            diagonal=op.is_diagonal,
+                        )
+                    state[table[t]] = in_sv
+
+        self._map_blocks(
+            block, split_blocks(rows, self._num_blocks(rows, table.size))
+        )
+
+    def apply_matrix_rows(
+        self, rows, matrix, positions, num_local, *, diagonal=False
+    ):
+        batch = rows.shape[0]
+        if batch < 2 or rows.size < self.min_parallel_elements:
+            apply_matrix_batched(
+                rows, matrix, positions, num_local, diagonal=diagonal
+            )
+            return
+
+        def block(lo: int, hi: int) -> None:
+            apply_matrix_batched(
+                rows[lo:hi], matrix, positions, num_local, diagonal=diagonal
+            )
+
+        self._map_blocks(
+            block, split_blocks(batch, self._num_blocks(batch, rows.size))
+        )
+
+    def apply_gate_flat(self, state, gate, num_qubits):
+        # A gate on qubits < w leaves the leading 2^(n-w) blocks of the
+        # flat state independent: reshape (no copy) and row-block them.
+        w = max(gate.qubits) + 1
+        rows = 1 << (num_qubits - w)
+        if rows < 2 or state.size < self.min_parallel_elements:
+            apply_gate(state, gate, num_qubits)
+            return
+        view = state.reshape(rows, 1 << w)
+        self.apply_matrix_rows(
+            view, gate.matrix(), gate.qubits, w, diagonal=gate.is_diagonal
+        )
+
+
+def _process_run_block(
+    shm_name: str,
+    num_qubits: int,
+    qubits: Tuple[int, ...],
+    ops,
+    lo: int,
+    hi: int,
+    mode: str,
+) -> None:
+    """Worker-side body: attach the shared state, rebuild this block's
+    gather rows, sweep the ops, scatter back.  Module-level so it pickles
+    under both fork and spawn start methods."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        state = np.ndarray(
+            (1 << num_qubits,), dtype=np.complex128, buffer=shm.buf
+        )
+        table = gather_index_rows(num_qubits, qubits, lo, hi)
+        w = len(qubits)
+        if mode == "batched":
+            inner = state[table]
+            for op in ops:
+                apply_matrix_batched(
+                    inner, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
+                )
+            state[table] = inner
+        else:
+            for t in range(table.shape[0]):
+                in_sv = state[table[t]].copy()
+                for op in ops:
+                    apply_matrix(
+                        in_sv, op.matrix(), op.qubits, w,
+                        diagonal=op.is_diagonal,
+                    )
+                state[table[t]] = in_sv
+    finally:
+        shm.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Row-block parallelism across worker processes over shared memory.
+
+    The full state lives in a ``multiprocessing.shared_memory`` segment
+    for the duration of a run (``begin_run``/``end_run``), so the
+    per-part cost is only op pickling and block-table rebuilding, not
+    state movement.  Falls back to in-process serial execution for
+    workloads under ``min_parallel_elements``.
+
+    Use when per-block GEMMs are too small for :class:`ThreadedBackend`
+    to win against the GIL-holding portions of the sweep; threads are
+    otherwise strictly cheaper.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        *,
+        min_parallel_elements: Optional[int] = None,
+    ) -> None:
+        self.processes = int(processes) if processes else _default_workers()
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.min_parallel_elements = (
+            _default_min_parallel()
+            if min_parallel_elements is None
+            else int(min_parallel_elements)
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        # Active shared-memory sessions keyed by id(state): backends are
+        # shared process-wide (resolve_backend singletons), so concurrent
+        # runs on *different* states must not trample each other's
+        # segments.  Guarded by _session_lock; a second begin_run on the
+        # same live state is refused.
+        self._sessions: Dict[int, tuple] = {}
+        self._session_lock = threading.Lock()
+
+    def describe(self) -> str:
+        return f"process[{self.processes}]"
+
+    @property
+    def num_active_sessions(self) -> int:
+        with self._session_lock:
+            return len(self._sessions)
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        import multiprocessing
+
+        with self._pool_lock:
+            if self._pool is None:
+                # Always spawn: fork in a process that already runs
+                # threads (thread pools, BLAS) can hand workers
+                # permanently-held locks and deadlock them.  The pool
+                # persists across parts/runs, so the spawn cost is paid
+                # once per backend instance.
+                ctx = multiprocessing.get_context("spawn")
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes, mp_context=ctx
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- shared-memory session --------------------------------------------
+
+    def _session_for(self, state: np.ndarray) -> Optional[tuple]:
+        with self._session_lock:
+            return self._sessions.get(id(state))
+
+    def begin_run(self, state: np.ndarray) -> None:
+        from multiprocessing import shared_memory
+
+        key = id(state)
+        with self._session_lock:
+            if key in self._sessions:
+                raise RuntimeError(
+                    "a run on this state is already in progress"
+                )
+            # Reserve the slot under the lock; fill it after the copy so
+            # a concurrent begin_run on the same state is refused early.
+            self._sessions[key] = ()
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=state.nbytes)
+            view = np.ndarray(
+                state.shape, dtype=np.complex128, buffer=shm.buf
+            )
+            view[:] = state
+        except BaseException:
+            with self._session_lock:
+                self._sessions.pop(key, None)
+            raise
+        with self._session_lock:
+            self._sessions[key] = (shm, view)
+
+    def end_run(self, state: np.ndarray) -> None:
+        with self._session_lock:
+            entry = self._sessions.pop(id(state), None)
+        if not entry:
+            return
+        shm, view = entry
+        try:
+            state[:] = view
+        finally:
+            del view  # release the buffer before closing the segment
+            shm.close()
+            shm.unlink()
+
+    # -- work --------------------------------------------------------------
+
+    def run_plan(self, plan, state, num_qubits, mode="batched"):
+        w = len(plan.qubits)
+        rows = 1 << (num_qubits - w)
+        session = self._session_for(state)
+        if rows < 2 or (rows << w) < self.min_parallel_elements:
+            target = session[1] if session else state
+            _run_part_serial(plan, target, num_qubits, mode)
+            return
+        owned = not session
+        if owned:
+            self.begin_run(state)
+            session = self._session_for(state)
+        try:
+            shm = session[0]
+            ops = plan.local_ops()
+            pool = self._get_pool()
+            futures = [
+                pool.submit(
+                    _process_run_block,
+                    shm.name, num_qubits, plan.qubits, ops, lo, hi, mode,
+                )
+                for lo, hi in split_blocks(rows, self.processes)
+            ]
+            # Drain every block before returning or raising: a worker
+            # may still be writing into the segment otherwise.
+            error: Optional[BaseException] = None
+            for f in futures:
+                try:
+                    f.result()
+                except BaseException as exc:
+                    if error is None:
+                        error = exc
+            if error is not None:
+                raise error
+        finally:
+            if owned:
+                self.end_run(state)
+
+    # Per-gate work does not amortise the process round trip; run those
+    # call sites serially (the hierarchical part path is where this
+    # backend earns its keep).
+    def apply_matrix_rows(
+        self, rows, matrix, positions, num_local, *, diagonal=False
+    ):
+        apply_matrix_batched(
+            rows, matrix, positions, num_local, diagonal=diagonal
+        )
+
+    def apply_gate_flat(self, state, gate, num_qubits):
+        apply_gate(state, gate, num_qubits)
+
+
+# ---------------------------------------------------------------------------
+# Selection / sharing
+# ---------------------------------------------------------------------------
+
+BACKEND_NAMES = ("serial", "threaded", "process")
+
+_BACKEND_CLASSES = {
+    "serial": SerialBackend,
+    "threaded": ThreadedBackend,
+    "process": ProcessBackend,
+}
+
+_shared: Dict[tuple, ExecutionBackend] = {}
+_shared_lock = threading.Lock()
+
+
+def get_backend(
+    name: str, *, threads: Optional[int] = None, **kwargs
+) -> ExecutionBackend:
+    """Construct a fresh backend by name (caller owns/closes it)."""
+    if name not in _BACKEND_CLASSES:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
+        )
+    if name == "serial":
+        return SerialBackend()
+    return _BACKEND_CLASSES[name](threads, **kwargs)
+
+
+def shared_backend(
+    name: str, threads: Optional[int] = None
+) -> ExecutionBackend:
+    """Process-wide shared backend instance for ``(name, threads)``.
+
+    Executors resolved from names/environment share pools through here,
+    so a test suite running under ``REPRO_BACKEND=threaded`` spins up
+    one thread pool, not one per executor.  Shared instances are never
+    closed by their users; they live for the process.
+    """
+    key = (name, threads)
+    with _shared_lock:
+        backend = _shared.get(key)
+        if backend is None:
+            backend = get_backend(name, threads=threads)
+            _shared[key] = backend
+        return backend
+
+
+def resolve_backend(
+    spec: Union[None, str, ExecutionBackend] = None,
+    threads: Optional[int] = None,
+) -> ExecutionBackend:
+    """Resolve a ``backend=`` argument to a live backend.
+
+    ``None`` consults ``REPRO_BACKEND`` (default ``serial``); a string
+    names a shared instance; an :class:`ExecutionBackend` passes
+    through.  ``threads`` defaults from ``REPRO_THREADS`` when unset.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        # Empty string counts as unset (CI matrix legs export "").
+        spec = os.environ.get("REPRO_BACKEND") or "serial"
+    if threads is None:
+        env = os.environ.get("REPRO_THREADS")
+        threads = int(env) if env else None
+    if spec == "serial":
+        threads = None  # one shared serial instance regardless
+    return shared_backend(spec, threads)

@@ -20,6 +20,7 @@ fusion is pure win).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -173,6 +174,21 @@ class FusedGate:
         out.source_indices = self.source_indices
         out._matrix = self._matrix
         return out
+
+    # Explicit pickle support: ``__slots__`` classes need it spelled out,
+    # and the restored matrix must come back read-only (the process
+    # backend ships ops to worker processes by pickle).
+    def __getstate__(self):
+        return (self.qubits, self.diagonal, self.source_indices, self._matrix)
+
+    def __setstate__(self, state) -> None:
+        qubits, diagonal, source_indices, matrix = state
+        self.qubits = tuple(qubits)
+        self.diagonal = bool(diagonal)
+        self.source_indices = tuple(source_indices)
+        matrix = np.ascontiguousarray(matrix, dtype=np.complex128)
+        matrix.setflags(write=False)
+        self._matrix = matrix
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         tag = "diag" if self.diagonal else "dense"
@@ -332,6 +348,14 @@ class PlanCache:
     may be shared across executors (hierarchical and distributed) and
     across repeated runs — that sharing is what makes sweeps and shard
     re-execution pay matrix construction once.
+
+    The cache is **thread-safe**: concurrent ``get_or_compile`` calls for
+    the same part serialise on an internal lock, so a plan is compiled
+    exactly once and never observed half-built.  Compiled plans
+    themselves are immutable after construction (the lazy ``local_ops``
+    / ``gather_table`` memos in :class:`CompiledPartPlan` are idempotent
+    — a benign race recomputes an identical value), so returned plans may
+    be used from any number of threads without further locking.
     """
 
     def __init__(self, max_entries: int = 1024) -> None:
@@ -339,14 +363,17 @@ class PlanCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def get_or_compile(
         self,
@@ -364,23 +391,24 @@ class PlanCache:
             bool(fuse),
             int(max_fused_qubits),
         )
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return entry[1]
-        self.misses += 1
-        plan = compile_part(
-            circuit,
-            gate_indices,
-            inner_qubits,
-            fuse=fuse,
-            max_fused_qubits=max_fused_qubits,
-        )
-        self._entries[key] = (circuit, plan)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return plan
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry[1]
+            self.misses += 1
+            plan = compile_part(
+                circuit,
+                gate_indices,
+                inner_qubits,
+                fuse=fuse,
+                max_fused_qubits=max_fused_qubits,
+            )
+            self._entries[key] = (circuit, plan)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return plan
 
 
 def compile_partition(

@@ -21,19 +21,25 @@ construction.  ``fuse=False`` reproduces the one-sweep-per-gate path.
 Working sets may be padded with extra qubits (``pad_to``) to exploit
 spatial locality, mirroring the paper's "add the qubits from the higher
 level part" rule.
+
+Where the sweeps run is delegated to an
+:class:`~repro.sv.backend.ExecutionBackend` (``backend=``): serial (the
+default), threaded row-block parallelism, or shared-memory worker
+processes — all bit-identical to each other by construction.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
 from ..partition.base import Partition
+from .backend import ExecutionBackend, resolve_backend
 from .fusion import DEFAULT_MAX_FUSED_QUBITS, CompiledPartPlan, PlanCache
-from .kernels import apply_matrix, apply_matrix_batched
 
 __all__ = ["HierarchicalExecutor", "ExecutionTrace", "pad_working_set"]
 
@@ -45,12 +51,16 @@ class ExecutionTrace:
     ``part_gates`` counts *source* gates per part (sums to the circuit's
     gate count regardless of fusion); ``part_ops`` counts the kernel
     sweeps actually executed after compilation — their difference is what
-    fusion saved.
+    fusion saved.  ``part_seconds`` records measured wall time per part
+    and ``backend_parts`` counts parts per backend identity (e.g.
+    ``{"threaded[4]": 3}``), so a run's parallel coverage is auditable.
     """
 
     part_qubits: List[Tuple[int, ...]] = field(default_factory=list)
     part_gates: List[int] = field(default_factory=list)
     part_ops: List[int] = field(default_factory=list)
+    part_seconds: List[float] = field(default_factory=list)
+    backend_parts: Dict[str, int] = field(default_factory=dict)
     gather_elements: int = 0
     scatter_elements: int = 0
 
@@ -65,6 +75,11 @@ class ExecutionTrace:
     @property
     def total_ops(self) -> int:
         return sum(self.part_ops)
+
+    @property
+    def total_seconds(self) -> float:
+        """Measured wall time across all parts (gather+execute+scatter)."""
+        return sum(self.part_seconds)
 
     @property
     def sweeps_saved(self) -> int:
@@ -111,6 +126,13 @@ class HierarchicalExecutor:
     plan_cache:
         Optional shared :class:`~repro.sv.fusion.PlanCache`; pass one to
         reuse compiled plans across executors and engines.
+    backend:
+        Where sweeps run: an :class:`~repro.sv.backend.ExecutionBackend`
+        instance, a name (``"serial"`` / ``"threaded"`` / ``"process"``),
+        or ``None`` to follow ``REPRO_BACKEND`` (default serial).
+    threads:
+        Worker count for a backend resolved by name/environment
+        (default: ``REPRO_THREADS`` or the machine's core count).
     """
 
     def __init__(
@@ -121,6 +143,8 @@ class HierarchicalExecutor:
         fuse: bool = True,
         max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
         plan_cache: Optional[PlanCache] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        threads: Optional[int] = None,
     ) -> None:
         if mode not in ("batched", "literal"):
             raise ValueError("mode must be 'batched' or 'literal'")
@@ -129,6 +153,7 @@ class HierarchicalExecutor:
         self.fuse = bool(fuse)
         self.max_fused_qubits = int(max_fused_qubits)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.backend = resolve_backend(backend, threads)
 
     def run(
         self,
@@ -143,18 +168,22 @@ class HierarchicalExecutor:
             raise ValueError("state length mismatch")
         if partition.num_qubits != n or partition.num_gates != len(circuit):
             raise ValueError("partition does not describe this circuit")
-        for part in partition.parts:
-            inner_qubits = part.qubits
-            if self.pad_to:
-                inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
-            plan = self.plan_cache.get_or_compile(
-                circuit,
-                part.gate_indices,
-                inner_qubits,
-                fuse=self.fuse,
-                max_fused_qubits=self.max_fused_qubits,
-            )
-            self._run_part(plan, state, n, trace)
+        self.backend.begin_run(state)
+        try:
+            for part in partition.parts:
+                inner_qubits = part.qubits
+                if self.pad_to:
+                    inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
+                plan = self.plan_cache.get_or_compile(
+                    circuit,
+                    part.gate_indices,
+                    inner_qubits,
+                    fuse=self.fuse,
+                    max_fused_qubits=self.max_fused_qubits,
+                )
+                self._run_part(plan, state, n, trace)
+        finally:
+            self.backend.end_run(state)
         return state
 
     # -- internals --------------------------------------------------------
@@ -166,29 +195,16 @@ class HierarchicalExecutor:
         n: int,
         trace: Optional[ExecutionTrace],
     ) -> None:
-        w = len(plan.qubits)
-        ops = plan.local_ops()
-        table = plan.gather_table(n)
-        if self.mode == "batched":
-            # Gather every inner state vector at once: rows of a matrix.
-            inner = state[table]  # (2^(n-w), 2^w) copy
-            for op in ops:
-                apply_matrix_batched(
-                    inner, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
-                )
-            state[table] = inner
-        else:
-            # Algorithm 1 verbatim: one inner vector per outer combination.
-            for t in range(table.shape[0]):
-                in_sv = state[table[t]].copy()
-                for op in ops:
-                    apply_matrix(
-                        in_sv, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
-                    )
-                state[table[t]] = in_sv
+        t0 = time.perf_counter()
+        self.backend.run_plan(plan, state, n, self.mode)
+        elapsed = time.perf_counter() - t0
         if trace is not None:
+            table_size = 1 << n
             trace.part_qubits.append(tuple(plan.qubits))
             trace.part_gates.append(plan.num_source_gates)
             trace.part_ops.append(plan.num_ops)
-            trace.gather_elements += table.size
-            trace.scatter_elements += table.size
+            trace.part_seconds.append(elapsed)
+            label = self.backend.describe()
+            trace.backend_parts[label] = trace.backend_parts.get(label, 0) + 1
+            trace.gather_elements += table_size
+            trace.scatter_elements += table_size

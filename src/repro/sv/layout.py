@@ -21,6 +21,7 @@ __all__ = [
     "extract_bits",
     "permute_bits",
     "gather_index_table",
+    "gather_index_rows",
     "QubitLayout",
 ]
 
@@ -83,9 +84,25 @@ def gather_index_table(n: int, inner_qubits: Sequence[int]) -> np.ndarray:
     inner = list(inner_qubits)
     if len(set(inner)) != len(inner):
         raise ValueError("inner qubits must be distinct")
+    return gather_index_rows(n, inner, 0, 1 << (n - len(inner)))
+
+
+def gather_index_rows(
+    n: int, inner_qubits: Sequence[int], lo: int, hi: int
+) -> np.ndarray:
+    """Rows ``lo..hi-1`` of :func:`gather_index_table`, built directly.
+
+    Lets a worker materialise only its block of the gather table (shape
+    ``(hi - lo, 2^w)``) instead of receiving a slice of the full
+    ``O(2^n)`` table — the process backend rebuilds per-block tables on
+    the worker side from ``(n, inner_qubits, lo, hi)`` alone.
+    """
+    inner = list(inner_qubits)
     outer = [q for q in range(n) if q not in set(inner)]
     w = len(inner)
-    t_vals = spread_bits(np.arange(1 << (n - w), dtype=np.int64), outer)
+    if not 0 <= lo <= hi <= 1 << (n - w):
+        raise ValueError(f"row range [{lo}, {hi}) out of bounds")
+    t_vals = spread_bits(np.arange(lo, hi, dtype=np.int64), outer)
     j_vals = spread_bits(np.arange(1 << w, dtype=np.int64), inner)
     return t_vals[:, None] + j_vals[None, :]
 

@@ -8,12 +8,13 @@ pipeline omits but any downstream user needs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from ..circuits.circuit import QuantumCircuit
-from .kernels import apply_gate, apply_gate_reference
+from .backend import ExecutionBackend, resolve_backend
+from .kernels import apply_gate_reference
 from .layout import extract_bits
 
 __all__ = ["StateVectorSimulator", "zero_state", "random_state"]
@@ -48,6 +49,14 @@ class StateVectorSimulator:
     reference_kernels:
         Use the literal strided kernels instead of the batched-GEMM path
         (slower; for validation).
+    backend:
+        Execution backend for the production kernel path: an
+        :class:`~repro.sv.backend.ExecutionBackend`, a name, or ``None``
+        to follow ``REPRO_BACKEND``.  Ignored under
+        ``reference_kernels`` (the reference path stays single-sweep
+        serial by design).
+    threads:
+        Worker count for a backend resolved by name/environment.
     """
 
     def __init__(
@@ -55,6 +64,8 @@ class StateVectorSimulator:
         num_qubits: int,
         initial_state: Optional[np.ndarray] = None,
         reference_kernels: bool = False,
+        backend: Union[None, str, ExecutionBackend] = None,
+        threads: Optional[int] = None,
     ) -> None:
         if num_qubits < 1:
             raise ValueError("num_qubits must be >= 1")
@@ -67,6 +78,7 @@ class StateVectorSimulator:
                 raise ValueError("initial state has wrong length")
             self.state = initial_state.copy()
         self._reference = reference_kernels
+        self.backend = resolve_backend(backend, threads)
         self.gates_applied = 0
 
     # -- evolution ---------------------------------------------------------
@@ -78,9 +90,12 @@ class StateVectorSimulator:
                 f"circuit width {circuit.num_qubits} != simulator width "
                 f"{self.num_qubits}"
             )
-        applier = apply_gate_reference if self._reference else apply_gate
-        for g in circuit:
-            applier(self.state, g, self.num_qubits)
+        if self._reference:
+            for g in circuit:
+                apply_gate_reference(self.state, g, self.num_qubits)
+        else:
+            for g in circuit:
+                self.backend.apply_gate_flat(self.state, g, self.num_qubits)
         self.gates_applied += len(circuit)
         return self.state
 

@@ -67,6 +67,30 @@ class TestCli:
         assert "strategy=Nat" in out
         assert "max_fused_qubits=3" in out
 
+    def test_simulate_threaded_backend(self, capsys):
+        assert main([
+            "simulate", "qft", "--qubits", "8", "--backend", "threaded",
+            "--threads", "2", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=threaded[2]" in out
+        assert "parts by backend: threaded[2]:" in out
+        assert "part wall time" in out
+        assert "max |fused - flat|" in out
+
+    def test_simulate_process_backend(self, capsys):
+        assert main([
+            "simulate", "bv", "--qubits", "8", "--backend", "process",
+            "--threads", "2", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=process[2]" in out
+        assert "max |fused - flat|" in out
+
+    def test_simulate_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "qft", "--qubits", "6", "--backend", "gpu"])
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus-command"])

@@ -1,0 +1,166 @@
+"""Randomized differential harness over the whole execution matrix.
+
+Every combination of {partitioner} x {fuse on/off} x {serial, threaded,
+process backend} x {batched, literal mode} must produce the same final
+state as the literal per-gate reference kernels, on seeded random
+circuits drawn from the full gate vocabulary.  This is the repo's
+broadest property test: any regression in partitioning, fusion,
+backends, gather tables or kernels lands somewhere in this grid.
+
+Case economy: circuits/reference states are cached per seed and
+partitions per (seed, strategy), so the sweep's cost is dominated by the
+executions themselves.  The process backend runs a reduced seed set
+(real worker processes per case are the expensive axis); the full grid
+of 36 combinations is still covered and the total case count stays
+above 200 (see ``test_case_count_floor``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.partition import get_partitioner
+from repro.sv import (
+    ExecutionTrace,
+    HierarchicalExecutor,
+    ProcessBackend,
+    SerialBackend,
+    ThreadedBackend,
+    apply_gate_reference,
+)
+
+from conftest import random_circuit
+
+NUM_QUBITS = 6
+NUM_GATES = 16
+STRATEGIES = ("Nat", "DFS", "dagP")
+MODES = ("batched", "literal")
+FUSE = (True, False)
+
+# Seeds per backend: thread dispatch is cheap, real processes are not.
+SEEDS = {
+    "serial": tuple(range(8)),
+    "threaded": tuple(range(8)),
+    "process": tuple(range(3)),
+}
+
+# 2 strategies-independent axes first: cases = sum over backends of
+# len(SEEDS[b]) * len(STRATEGIES) * len(FUSE) * len(MODES).
+CASE_COUNT = sum(
+    len(seeds) * len(STRATEGIES) * len(FUSE) * len(MODES)
+    for seeds in SEEDS.values()
+)
+
+
+def _case_params():
+    for backend, seeds in SEEDS.items():
+        for seed in seeds:
+            for strategy in STRATEGIES:
+                for fuse in FUSE:
+                    for mode in MODES:
+                        yield pytest.param(
+                            backend, seed, strategy, fuse, mode,
+                            id=f"{backend}-s{seed}-{strategy}-"
+                               f"{'fused' if fuse else 'raw'}-{mode}",
+                        )
+
+
+_circuits: dict = {}
+_references: dict = {}
+_partitions: dict = {}
+
+
+def _circuit(seed: int) -> QuantumCircuit:
+    qc = _circuits.get(seed)
+    if qc is None:
+        qc = random_circuit(NUM_QUBITS, NUM_GATES, seed=seed)
+        _circuits[seed] = qc
+    return qc
+
+
+def _reference(seed: int) -> np.ndarray:
+    ref = _references.get(seed)
+    if ref is None:
+        qc = _circuit(seed)
+        state = np.zeros(1 << NUM_QUBITS, dtype=np.complex128)
+        state[0] = 1.0
+        for gate in qc:
+            apply_gate_reference(state, gate, NUM_QUBITS)
+        ref = state
+        _references[seed] = ref
+    return ref
+
+
+def _partition(seed: int, strategy: str):
+    key = (seed, strategy)
+    part = _partitions.get(key)
+    if part is None:
+        part = get_partitioner(strategy).partition(
+            _circuit(seed), max(3, NUM_QUBITS - 2)
+        )
+        _partitions[key] = part
+    return part
+
+
+@pytest.fixture(scope="module")
+def backends():
+    """One live instance per backend kind, shared across the sweep.
+
+    ``min_parallel_elements=0`` forces the parallel dispatch path even at
+    test widths — without it the fallback would quietly turn the whole
+    grid into serial runs.
+    """
+    made = {
+        "serial": SerialBackend(),
+        "threaded": ThreadedBackend(3, min_parallel_elements=0),
+        "process": ProcessBackend(2, min_parallel_elements=0),
+    }
+    yield made
+    made["threaded"].close()
+    made["process"].close()
+
+
+@pytest.mark.parametrize("backend,seed,strategy,fuse,mode", _case_params())
+def test_differential(backends, backend, seed, strategy, fuse, mode):
+    qc = _circuit(seed)
+    partition = _partition(seed, strategy)
+    trace = ExecutionTrace()
+    state = np.zeros(1 << NUM_QUBITS, dtype=np.complex128)
+    state[0] = 1.0
+    HierarchicalExecutor(
+        mode=mode, fuse=fuse, backend=backends[backend]
+    ).run(qc, partition, state, trace=trace)
+
+    err = float(np.max(np.abs(state - _reference(seed))))
+    assert err < 1e-10, (
+        f"{backend}/{strategy}/fuse={fuse}/{mode} seed={seed}: "
+        f"max deviation {err:.3e} from reference kernels"
+    )
+    # Source-gate accounting must be exact regardless of fusion/backend.
+    assert trace.total_gates == len(qc)
+    assert trace.num_parts == partition.num_parts
+    assert sum(trace.backend_parts.values()) == trace.num_parts
+
+
+def test_case_count_floor():
+    """The harness must keep sweeping at least 200 generated cases."""
+    assert CASE_COUNT >= 200, CASE_COUNT
+
+
+def test_grid_is_complete():
+    """All 36 backend/strategy/fuse/mode combinations are exercised."""
+    combos = {
+        (b, s, f, m)
+        for b in SEEDS
+        for s in STRATEGIES
+        for f in FUSE
+        for m in MODES
+    }
+    assert len(combos) == 36
+    swept = {
+        (p.values[0], p.values[2], p.values[3], p.values[4])
+        for p in _case_params()
+    }
+    assert swept == combos

@@ -1,0 +1,179 @@
+"""Batched serving throughput: amortised vs cold execution.
+
+The serving runtime's acceptance bar: a 32-job QAOA angle sweep (one
+graph, fresh ``(gamma, beta)`` angles per job — structurally identical
+circuits) through a shared-cache :class:`~repro.serve.BatchRunner` must
+reach at least **2x** the throughput of the same jobs run through
+sequential *cold* ``HierarchicalExecutor`` calls (fresh partitioner and
+plan cache per job — what every pre-serve entry point did), with every
+per-job final state matching the cold path to ``1e-10``.
+
+What the batch path amortises, per structure instead of per job:
+partitioning (the dagP multilevel pipeline), fusion grouping, fused
+gather tables, and the ``O(2^n)`` gather index tables.  Only the fused
+matrices (``2^k``-sized products) are rebuilt per job, because only they
+depend on the angles.
+
+The speedup floor is environment-overridable
+(``REPRO_BENCH_BATCH_MIN_SPEEDUP``, default ``2.0``) so CI smoke runs on
+loaded runners can't flake.  Also runnable without pytest::
+
+    python benchmarks/bench_batch.py --qubits 12 --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.circuits.generators import qaoa
+from repro.partition import get_partitioner
+from repro.serve import BatchRunner, SimJob, default_limit
+from repro.sv import HierarchicalExecutor, zero_state
+
+NUM_JOBS = 32
+QUBITS = 12
+ROUNDS = 3
+
+
+def min_speedup() -> float:
+    """Acceptance floor for batched throughput (env-overridable)."""
+    value = os.environ.get("REPRO_BENCH_BATCH_MIN_SPEEDUP")
+    return 2.0 if value in (None, "") else float(value)
+
+
+def make_sweep_jobs(num_jobs=NUM_JOBS, qubits=QUBITS, rounds=ROUNDS):
+    """``num_jobs`` QAOA jobs on one graph with per-job angles."""
+    jobs = []
+    for k in range(num_jobs):
+        gammas = [0.20 + 0.01 * k + 0.1 * r for r in range(rounds)]
+        betas = [0.80 - 0.01 * k - 0.05 * r for r in range(rounds)]
+        qc = qaoa(qubits, p=rounds, gammas=gammas, betas=betas)
+        jobs.append(SimJob(f"sweep-{k}", qc, want_state=True))
+    return jobs
+
+
+def run_cold_sequential(jobs):
+    """The pre-serve baseline: per job, partition from scratch and
+    execute with a fresh (empty) plan cache."""
+    states = []
+    t0 = time.perf_counter()
+    for job in jobs:
+        n = job.circuit.num_qubits
+        partition = get_partitioner("dagP").partition(
+            job.circuit, default_limit(n)
+        )
+        executor = HierarchicalExecutor(fuse=True)
+        state = zero_state(n)
+        executor.run(job.circuit, partition, state)
+        states.append(state)
+    return states, time.perf_counter() - t0
+
+
+def run_batched(jobs):
+    """The serving path: one runner, shared caches, grouped schedule."""
+    runner = BatchRunner(schedule="grouped")
+    t0 = time.perf_counter()
+    report = runner.run(jobs)
+    elapsed = time.perf_counter() - t0
+    return report, elapsed
+
+
+def run_comparison(num_jobs=NUM_JOBS, qubits=QUBITS, rounds=ROUNDS):
+    jobs = make_sweep_jobs(num_jobs, qubits, rounds)
+    cold_states, cold_s = run_cold_sequential(jobs)
+    report, batch_s = run_batched(jobs)
+    max_err = max(
+        float(np.max(np.abs(res.state - cold)))
+        for res, cold in zip(report.results, cold_states)
+    )
+    return {
+        "num_jobs": num_jobs,
+        "qubits": qubits,
+        "gates": len(jobs[0].circuit),
+        "cold_s": cold_s,
+        "batch_s": batch_s,
+        "speedup": cold_s / batch_s,
+        "max_err": max_err,
+        "stats": report.stats,
+    }
+
+
+def render(res) -> str:
+    s = res["stats"]
+    return "\n".join(
+        [
+            f"Batched serving — qaoa angle sweep "
+            f"({res['num_jobs']} jobs, {res['qubits']} qubits, "
+            f"{res['gates']} gates each)",
+            f"{'cold sequential':>18}: {res['cold_s']:>8.3f}s "
+            f"(partition + compile per job)",
+            f"{'batched (shared)':>18}: {res['batch_s']:>8.3f}s "
+            f"({s.partitions_computed} partition, "
+            f"{s.structures_compiled} plan structures, "
+            f"{s.plans_bound} matrix binds)",
+            f"{'throughput':>18}: {res['speedup']:.2f}x",
+            f"max |batch - cold| = {res['max_err']:.3e}",
+        ]
+    )
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_batch_qaoa_sweep_speedup(save_result):
+    """Acceptance: >= 2x throughput on the 32-job sweep, states equal to
+    the cold path (floor overridable via REPRO_BENCH_BATCH_MIN_SPEEDUP)."""
+    floor = min_speedup()
+    res = run_comparison()
+    assert res["max_err"] < 1e-10, (
+        f"batched states diverged from cold path: {res['max_err']:.3e}"
+    )
+    s = res["stats"]
+    assert s.partitions_computed == 1 and s.partition_hits == NUM_JOBS - 1
+    assert res["speedup"] >= floor, (
+        f"batched throughput {res['speedup']:.2f}x below the {floor}x floor"
+    )
+    save_result("bench_batch_qaoa_sweep", render(res))
+
+
+def test_batch_single_structure_compiles_once(save_result):
+    """The 32-job batch compiles each part's plan structure exactly once."""
+    jobs = make_sweep_jobs(qubits=10, rounds=1)
+    report, _ = run_batched(jobs)
+    s = report.stats
+    parts = report.results[0].num_parts
+    assert s.structures_compiled == parts
+    assert s.structure_hits == (len(jobs) - 1) * parts
+    save_result("bench_batch_cache_accounting", s.summary())
+
+
+# -- standalone smoke entry point -------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=NUM_JOBS)
+    parser.add_argument("--qubits", type=int, default=QUBITS)
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="acceptance floor (default: "
+                             "REPRO_BENCH_BATCH_MIN_SPEEDUP or 2.0)")
+    args = parser.parse_args(argv)
+    floor = args.min_speedup if args.min_speedup is not None else min_speedup()
+    res = run_comparison(args.jobs, args.qubits, args.rounds)
+    print(render(res))
+    if res["max_err"] > 1e-10:
+        print("VERIFICATION FAILED")
+        return 1
+    if res["speedup"] < floor:
+        print(f"SPEEDUP BELOW FLOOR ({res['speedup']:.2f}x < {floor}x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

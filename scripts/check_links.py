@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/ (no dependencies).
+
+Checks every ``[text](target)`` link in the given markdown files (or the
+repo's README + docs tree when run without arguments):
+
+* relative file targets must exist (resolved against the linking file);
+* ``#anchors`` — standalone or on a file target — must match a heading
+  in the target file (GitHub slug rules: lowercase, punctuation
+  stripped, spaces to hyphens);
+* ``http(s)://`` targets are counted but not fetched (CI is offline).
+
+Exit status 1 when any link is broken.  Used by the CI docs job::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading-to-anchor slug: strip punctuation, hyphenate."""
+    title = re.sub(r"`([^`]*)`", r"\1", title)          # inline code
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)  # links
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def markdown_anchors(path: str) -> Set[str]:
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group("title"))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def iter_links(path: str) -> List[Tuple[int, str, str]]:
+    """(line_number, text, target) for every non-image markdown link."""
+    links = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                links.append((lineno, m.group("text"), m.group("target")))
+    return links
+
+
+def check_file(path: str) -> Tuple[List[str], int]:
+    """Returns (problems, links_checked) for one markdown file."""
+    problems: List[str] = []
+    checked = 0
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, _text, target in iter_links(path):
+        checked += 1
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external; not fetched offline
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(dest):
+                problems.append(
+                    f"{path}:{lineno}: broken link -> {target} "
+                    f"(no such file {file_part})"
+                )
+                continue
+        else:
+            dest = path  # pure-anchor link into this file
+        if anchor:
+            if not dest.endswith((".md", ".markdown")):
+                continue  # anchors into non-markdown: out of scope
+            if anchor not in markdown_anchors(dest):
+                problems.append(
+                    f"{path}:{lineno}: broken anchor -> {target} "
+                    f"(no heading #{anchor} in {os.path.relpath(dest)})"
+                )
+    return problems, checked
+
+
+def default_targets() -> List[str]:
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = [os.path.join(repo, "README.md")]
+    docs = os.path.join(repo, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith((".md", ".markdown")):
+                targets.append(os.path.join(docs, name))
+    return targets
+
+
+def main(argv: List[str]) -> int:
+    targets = argv or default_targets()
+    all_problems: List[str] = []
+    total = 0
+    for path in targets:
+        if not os.path.exists(path):
+            all_problems.append(f"{path}: file not found")
+            continue
+        problems, checked = check_file(path)
+        all_problems.extend(problems)
+        total += checked
+    for p in all_problems:
+        print(p)
+    print(
+        f"checked {total} links in {len(targets)} files: "
+        f"{len(all_problems)} broken"
+    )
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

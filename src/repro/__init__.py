@@ -37,6 +37,7 @@ _SUBPACKAGES = (
     "hybrid",
     "partition",
     "runtime",
+    "serve",
     "sv",
 )
 

@@ -8,6 +8,7 @@ Usage::
     repro circuit bv --qubits 16     # inspect a generated circuit
     repro simulate qft --qubits 16 --no-fuse   # partitioned execution
     repro simulate qft --qubits 20 --backend threaded --threads 4
+    repro batch jobs.json -o results.json      # batched serving runtime
 
 Each experiment prints its paper-shaped table and (with ``--save``) writes
 it under ``results/``.  ``simulate`` partitions a generated circuit, runs
@@ -15,7 +16,12 @@ it through the hierarchical executor (part-level gate fusion on by
 default; disable with ``--no-fuse``; pick where sweeps run with
 ``--backend serial|threaded|process`` and ``--threads``) and reports the
 compiled sweep counts, per-backend wall time and a cross-check against
-the flat simulator.
+the flat simulator.  ``batch`` feeds a JSON job manifest through the
+:mod:`repro.serve` runtime (shared partition/plan caches across
+structurally identical circuits) and writes a results manifest.
+
+Defaults and the ``REPRO_*`` environment variables are documented in
+``docs/configuration.md``.
 """
 
 from __future__ import annotations
@@ -128,6 +134,55 @@ def _simulate(args) -> int:
     return 0
 
 
+def _batch(args) -> int:
+    """Run a JSON job manifest through the serving runtime."""
+    import json
+
+    from .serve import BatchRunner, load_manifest, results_to_manifest
+
+    jobs, options = load_manifest(args.manifest)
+    # CLI flags override manifest options; manifest options override
+    # the runner defaults.
+    for key, value in (
+        ("strategy", args.strategy),
+        ("limit", args.limit),
+        ("schedule", args.schedule),
+        ("workers", args.workers),
+        ("backend", args.backend),
+        ("threads", args.threads),
+    ):
+        if value is not None:
+            options[key] = value
+    if args.fuse is not None:
+        options["fuse"] = args.fuse
+    runner = BatchRunner(**options)
+    report = runner.run(jobs)
+    print(report.stats.summary())
+    for res in report.results:
+        extras = []
+        if res.counts is not None:
+            extras.append(f"shots={sum(res.counts.values())}")
+        if res.expectations is not None:
+            extras.append(f"expectations={len(res.expectations)}")
+        if res.state is not None:
+            extras.append("state")
+        print(
+            f"  {res.job_id}: qubits={res.num_qubits} gates={res.num_gates} "
+            f"parts={res.num_parts} "
+            f"partition={'cached' if res.partition_cached else 'computed'} "
+            f"{res.seconds:.3f}s"
+            + (f" [{', '.join(extras)}]" if extras else "")
+        )
+    if args.output:
+        manifest = results_to_manifest(
+            report.results, stats=vars(report.stats)
+        )
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        print(f"results written to {args.output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -163,20 +218,60 @@ def main(argv=None) -> int:
     p_sim.add_argument("--strategy", default="dagP",
                        choices=["Nat", "DFS", "dagP"])
     p_sim.add_argument("--fuse", dest="fuse", action="store_true",
-                       default=True, help="fuse part gates (default)")
+                       default=True,
+                       help="fuse part gates into <= max-fused-qubits "
+                            "unitaries (default: on)")
     p_sim.add_argument("--no-fuse", dest="fuse", action="store_false",
                        help="one kernel sweep per gate")
-    p_sim.add_argument("--max-fused-qubits", type=int, default=5)
+    p_sim.add_argument("--max-fused-qubits", type=int, default=5,
+                       help="arity cap for fused dense unitaries "
+                            "(default: 5)")
     p_sim.add_argument("--backend", default=None,
                        choices=["serial", "threaded", "process"],
-                       help="execution backend (default: REPRO_BACKEND "
-                            "or serial)")
+                       help="execution backend (default: REPRO_BACKEND, "
+                            "else serial; see docs/configuration.md)")
     p_sim.add_argument("--threads", type=int, default=None,
                        help="worker count for threaded/process backends "
-                            "(default: REPRO_THREADS or core count)")
-    p_sim.add_argument("--pad-to", type=int, default=0)
+                            "(default: REPRO_THREADS, else core count)")
+    p_sim.add_argument("--pad-to", type=int, default=0,
+                       help="pad part working sets to this many qubits "
+                            "(default: 0 = no padding)")
     p_sim.add_argument("--verify", action="store_true",
                        help="cross-check against the flat simulator")
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="run a JSON job manifest through the batched serving runtime",
+        description="Batched multi-circuit execution (repro.serve): jobs "
+                    "from a JSON manifest share partition and compiled-plan "
+                    "caches across structurally identical circuits. "
+                    "Manifest schema: docs/serving.md.",
+    )
+    p_batch.add_argument("manifest", help="path to the JSON job manifest")
+    p_batch.add_argument("-o", "--output", default=None,
+                         help="write a JSON results manifest here")
+    p_batch.add_argument("--schedule", default=None,
+                         choices=["fifo", "grouped"],
+                         help="dispatch order (default: grouped — cluster "
+                              "structurally identical jobs)")
+    p_batch.add_argument("--strategy", default=None,
+                         choices=["Nat", "DFS", "dagP"],
+                         help="partitioner (default: dagP)")
+    p_batch.add_argument("--limit", type=int, default=None,
+                         help="working-set limit (default: qubits - 3 "
+                              "per circuit)")
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="concurrent jobs (default: 1)")
+    p_batch.add_argument("--backend", default=None,
+                         choices=["serial", "threaded", "process"],
+                         help="execution backend (default: REPRO_BACKEND, "
+                              "else serial)")
+    p_batch.add_argument("--threads", type=int, default=None,
+                         help="backend worker count (default: REPRO_THREADS)")
+    p_batch.add_argument("--fuse", dest="fuse", action="store_true",
+                         default=None, help="force fusion on")
+    p_batch.add_argument("--no-fuse", dest="fuse", action="store_false",
+                         help="force fusion off")
 
     args = parser.parse_args(argv)
 
@@ -200,6 +295,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "batch":
+        return _batch(args)
     if args.command == "all":
         for name in EXPERIMENTS:
             print(f"=== {name} ===")

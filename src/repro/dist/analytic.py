@@ -43,6 +43,13 @@ def exchange_step_stats(
     max_msgs_per_rank)`` — exactly the step
     :meth:`~repro.runtime.comm.SimComm.alltoall_permute` would add, with
     diagonal (rank-to-self) traffic excluded.
+
+    >>> from repro.sv.layout import QubitLayout
+    >>> old, new = QubitLayout.identity(4), QubitLayout([2, 1, 0, 3])
+    >>> exchange_step_stats(old, old, local_bits=2)     # no movement
+    (0, 0, 0, 0)
+    >>> exchange_step_stats(old, new, local_bits=2)     # qubit 0 <-> 2
+    (128, 4, 32, 1)
     """
     n = old.n
     if new.n != n:
@@ -105,6 +112,15 @@ class LayoutOnlyState(LayoutQueriesMixin):
     :class:`~repro.dist.state.DistributedStateVector` for everything the
     engines' planning and accounting paths touch (``layout``, ``remap``,
     residency queries); ``shards`` is ``None``.
+
+    >>> from repro.runtime.comm import SimComm
+    >>> from repro.sv.layout import QubitLayout
+    >>> state = LayoutOnlyState(30, SimComm(8))    # paper width, no memory
+    >>> state.local_bits, state.shards is None
+    (27, True)
+    >>> state.remap(QubitLayout([29] + list(range(29))))
+    >>> state.comm.stats.total_msgs > 0            # traffic still recorded
+    True
     """
 
     shards = None

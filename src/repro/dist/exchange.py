@@ -21,7 +21,12 @@ __all__ = ["plan_layout_for_part", "swap_qubit_positions"]
 def swap_qubit_positions(
     layout: QubitLayout, qubit_a: int, qubit_b: int
 ) -> QubitLayout:
-    """Layout with the storage positions of two qubits exchanged."""
+    """Layout with the storage positions of two qubits exchanged.
+
+    >>> layout = QubitLayout.identity(3)
+    >>> swap_qubit_positions(layout, 0, 2).positions
+    (2, 1, 0)
+    """
     positions = list(layout.positions)
     positions[qubit_a], positions[qubit_b] = (
         positions[qubit_b],
@@ -52,6 +57,13 @@ def plan_layout_for_part(
 
     Returns ``layout`` itself when nothing needs to move.  Raises
     ``ValueError`` when the working set cannot fit ``local_bits``.
+
+    >>> layout = QubitLayout.identity(4)          # qubits 0,1 local
+    >>> new = plan_layout_for_part(layout, [3], local_bits=2)
+    >>> new.position(3) < 2                       # qubit 3 now local
+    True
+    >>> plan_layout_for_part(layout, [0, 1], 2) is layout   # already local
+    True
     """
     working = set(part_qubits)
     if len(working) > local_bits:

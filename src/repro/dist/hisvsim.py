@@ -40,6 +40,23 @@ __all__ = ["HiSVSimEngine"]
 class HiSVSimEngine:
     """Simulated multi-node execution of an acyclic partition.
 
+    One layout exchange per part (instead of per gate), then every gate
+    of the part executes locally on the rank shards — the paper's core
+    claim, with byte-exact communication accounting on ``report``.
+
+    >>> import numpy as np
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> from repro.sv.simulator import StateVectorSimulator
+    >>> qc = qft(6)
+    >>> partition = get_partitioner("dagP").partition(qc, 4)
+    >>> state, report = HiSVSimEngine(num_ranks=4).run(qc, partition)
+    >>> sim = StateVectorSimulator(6); _ = sim.run(qc)
+    >>> bool(np.allclose(state.to_full(), sim.state, atol=1e-10))
+    True
+    >>> report.num_parts == partition.num_parts
+    True
+
     Parameters
     ----------
     num_ranks:

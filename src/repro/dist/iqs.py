@@ -39,7 +39,21 @@ __all__ = ["IQSEngine"]
 
 
 class IQSEngine:
-    """Static-mapping distributed engine with per-gate exchanges."""
+    """Static-mapping distributed engine with per-gate exchanges.
+
+    The Intel-QS-style baseline the paper compares against: the qubit
+    layout never changes, so every gate touching a process qubit pays an
+    exchange (minus the control/diagonal fast paths).
+
+    >>> import numpy as np
+    >>> from repro.circuits.generators import qft
+    >>> from repro.sv.simulator import StateVectorSimulator
+    >>> qc = qft(6)
+    >>> state, report = IQSEngine(num_ranks=4).run(qc)
+    >>> sim = StateVectorSimulator(6); _ = sim.run(qc)
+    >>> bool(np.allclose(state.to_full(), sim.state, atol=1e-10))
+    True
+    """
 
     def __init__(
         self,

@@ -66,6 +66,18 @@ class DistributedStateVector(LayoutQueriesMixin):
     is rank ``r``'s data.  All constructors and :meth:`remap` keep the
     invariant that ``shards.flat[p]`` holds the amplitude of logical basis
     state ``layout.logical_index(p)``.
+
+    >>> import numpy as np
+    >>> from repro.runtime.comm import SimComm
+    >>> from repro.sv.layout import QubitLayout
+    >>> state = DistributedStateVector.zero(4, SimComm(4))
+    >>> state.shards.shape, state.local_qubits()
+    ((4, 4), [0, 1])
+    >>> state.remap(QubitLayout([2, 3, 0, 1]))    # qubits 2,3 become local
+    >>> state.local_qubits(), round(state.norm(), 12)
+    ([2, 3], 1.0)
+    >>> int(np.argmax(np.abs(state.to_full())))   # still |0000>
+    0
     """
 
     def __init__(

@@ -24,7 +24,13 @@ STRATEGIES = {
 
 
 def get_partitioner(name: str, **kwargs) -> Partitioner:
-    """Instantiate a strategy by paper name (``Nat`` / ``DFS`` / ``dagP``)."""
+    """Instantiate a strategy by paper name (``Nat`` / ``DFS`` / ``dagP``).
+
+    >>> get_partitioner("dagP").name
+    'dagP'
+    >>> get_partitioner("DFS", trials=2).trials
+    2
+    """
     if name not in STRATEGIES:
         raise KeyError(f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}")
     return STRATEGIES[name](**kwargs)

@@ -19,12 +19,21 @@ __all__ = ["Part", "Partition", "Partitioner", "gate_dependency_edges", "Partiti
 
 
 class PartitionError(ValueError):
-    """Raised when an assignment cannot form a valid acyclic partition."""
+    """Raised when an assignment cannot form a valid acyclic partition.
+
+    >>> issubclass(PartitionError, ValueError)
+    True
+    """
 
 
 @dataclass(frozen=True)
 class Part:
-    """One sub-circuit: gate indices (circuit order) and its working set."""
+    """One sub-circuit: gate indices (circuit order) and its working set.
+
+    >>> part = Part(gate_indices=(0, 2), qubits=(1, 3))
+    >>> part.num_gates, part.working_set_size, bin(part.qmask)
+    (2, 2, '0b1010')
+    """
 
     gate_indices: Tuple[int, ...]
     qubits: Tuple[int, ...]
@@ -47,7 +56,16 @@ class Part:
 
 @dataclass(frozen=True)
 class Partition:
-    """An ordered acyclic partition of a circuit's gates."""
+    """An ordered acyclic partition of a circuit's gates.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+    >>> p = Partition.from_assignment(qc, [0, 0, 1], limit=2, strategy="Nat")
+    >>> p.num_parts, p.gates_per_part(), p.max_working_set()
+    (2, [2, 1], 2)
+    >>> p.assignment()
+    [0, 0, 1]
+    """
 
     num_qubits: int
     num_gates: int
@@ -136,7 +154,13 @@ class Partition:
 
 
 def gate_dependency_edges(circuit: QuantumCircuit) -> List[Tuple[int, int]]:
-    """Qubit-timeline dependency edges (u before v, sharing a qubit)."""
+    """Qubit-timeline dependency edges (u before v, sharing a qubit).
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).h(2)
+    >>> gate_dependency_edges(qc)     # h(2) depends on nothing
+    [(0, 1)]
+    """
     last: Dict[int, int] = {}
     edges: List[Tuple[int, int]] = []
     for i, g in enumerate(circuit):
@@ -173,7 +197,17 @@ def _toposort_quotient(
 
 
 class Partitioner(Protocol):
-    """Strategy interface: circuit + qubit limit -> :class:`Partition`."""
+    """Strategy interface: circuit + qubit limit -> :class:`Partition`.
+
+    Implementations (``Nat`` / ``DFS`` / ``dagP`` / ``ILP``) expose a
+    ``name`` and a ``partition(circuit, limit)`` method; see
+    :func:`repro.partition.get_partitioner`.
+
+    >>> from repro.partition import NaturalPartitioner
+    >>> p = NaturalPartitioner()
+    >>> p.name, callable(p.partition)
+    ('Nat', True)
+    """
 
     name: str
 

@@ -55,7 +55,12 @@ def random_dfs_topological_order(
 
 
 class DFSPartitioner:
-    """The paper's ``DFS`` strategy.
+    """The paper's ``DFS`` strategy: best-of-k randomised DFS orders.
+
+    >>> from repro.circuits.generators import qft
+    >>> p = DFSPartitioner(trials=4, seed=1).partition(qft(6), limit=4)
+    >>> p.strategy, p.max_working_set() <= 4
+    ('DFS', True)
 
     Parameters
     ----------

@@ -25,7 +25,15 @@ __all__ = ["PartFile", "export_parts", "part_subcircuit"]
 
 @dataclass(frozen=True)
 class PartFile:
-    """One exported part: its remapped circuit and the slot map used."""
+    """One exported part: its remapped circuit and the slot map used.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> from repro.partition import NaturalPartitioner
+    >>> qc = QuantumCircuit(4).cx(2, 3)
+    >>> pf = part_subcircuit(qc, NaturalPartitioner().partition(qc, 2), 0)
+    >>> pf.qubit_map                      # global qubits -> local slots
+    {2: 0, 3: 1}
+    """
 
     index: int
     circuit: QuantumCircuit
@@ -43,6 +51,13 @@ def part_subcircuit(
 
     ``local_qubits`` widens the register to the target simulator's local
     model (defaults to the part's working-set size).
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> from repro.partition import NaturalPartitioner
+    >>> qc = QuantumCircuit(4).h(1).cx(1, 3)
+    >>> pf = part_subcircuit(qc, NaturalPartitioner().partition(qc, 2), 0)
+    >>> pf.circuit.num_qubits, str(pf.circuit[1])
+    (2, 'cx [0, 1]')
     """
     part = partition.parts[index]
     mapping = {q: i for i, q in enumerate(part.qubits)}
@@ -64,7 +79,18 @@ def export_parts(
     directory: Optional[str] = None,
     local_qubits: Optional[int] = None,
 ) -> List[PartFile]:
-    """Export every part; optionally write ``part_<i>.qasm`` files."""
+    """Export every part; optionally write ``part_<i>.qasm`` files.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> qc = qft(6)
+    >>> partition = get_partitioner("dagP").partition(qc, 4)
+    >>> files = export_parts(qc, partition)       # no directory: in-memory
+    >>> len(files) == partition.num_parts
+    True
+    >>> files[0].qasm.startswith("OPENQASM 2.0;")
+    True
+    """
     files = [
         part_subcircuit(circuit, partition, i, local_qubits)
         for i in range(partition.num_parts)

@@ -35,7 +35,13 @@ __all__ = ["ILPPartitioner", "ILPResult"]
 
 @dataclass
 class ILPResult:
-    """Outcome of an ILP solve."""
+    """Outcome of an ILP solve: the partition (if feasible), whether the
+    solver proved optimality, the part count and the solver status.
+
+    >>> ILPResult(partition=None, optimal=False, num_parts=0,
+    ...           status="infeasible").optimal
+    False
+    """
 
     partition: Optional[Partition]
     optimal: bool
@@ -45,6 +51,15 @@ class ILPResult:
 
 class ILPPartitioner:
     """Exact (or time-limited) acyclic partitioner.
+
+    Minimises the part count via a HiGHS mixed-integer program; falls
+    back to reporting non-optimality when the time budget runs out.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+    >>> res = ILPPartitioner(time_limit=10).solve(qc, limit=2)
+    >>> res.num_parts, res.partition.strategy
+    (2, 'ILP')
 
     Parameters
     ----------

@@ -84,7 +84,13 @@ def greedy_merge(
 
     ``masks`` are per-part qubit bitmasks, ``edges`` the quotient-graph
     edges.  The result uses compact cluster ids ``0..k'-1`` (ids follow the
-    smallest original part index in each cluster).
+    smallest original part index in each cluster).  Merges that would
+    create a quotient cycle (a path through a third part) are skipped.
+
+    >>> greedy_merge([0b011, 0b110, 0b011], [(0, 1), (1, 2)], limit=2)
+    [0, 1, 2]
+    >>> greedy_merge([0b011, 0b011], [(0, 1)], limit=2)   # fits: merge
+    [0, 0]
     """
     k = len(masks)
     mask = list(masks)

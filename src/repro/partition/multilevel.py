@@ -27,6 +27,14 @@ class MultilevelPartition:
     Level-2 partitions index gates by their position **inside** the parent
     part's subcircuit (0..part.num_gates-1); executors remap back through
     ``outer.parts[i].gate_indices``.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import NaturalPartitioner
+    >>> ml = multilevel_partition(qft(8), NaturalPartitioner(), 6, 4)
+    >>> len(ml.inner) == ml.outer.num_parts
+    True
+    >>> ml.is_trivial, ml.total_inner_parts() >= ml.outer.num_parts
+    (False, True)
     """
 
     outer: Partition
@@ -48,7 +56,14 @@ def multilevel_partition(
     limit1: int,
     limit2: int,
 ) -> MultilevelPartition:
-    """Partition at ``limit1`` then re-partition each part at ``limit2``."""
+    """Partition at ``limit1`` then re-partition each part at ``limit2``.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import NaturalPartitioner
+    >>> ml = multilevel_partition(qft(8), NaturalPartitioner(), 6, 4)
+    >>> all(p.max_working_set() <= 4 for p in ml.inner)
+    True
+    """
     if limit2 > limit1:
         raise ValueError("limit2 must be <= limit1")
     outer = partitioner.partition(circuit, limit1)

@@ -43,7 +43,13 @@ def cutoff_assignment(
 
 
 class NaturalPartitioner:
-    """The paper's ``Nat`` strategy."""
+    """The paper's ``Nat`` strategy: working-set cutoff in written order.
+
+    >>> from repro.circuits.generators import qft
+    >>> p = NaturalPartitioner().partition(qft(6), limit=4)
+    >>> p.strategy, p.max_working_set() <= 4
+    ('Nat', True)
+    """
 
     name = "Nat"
 

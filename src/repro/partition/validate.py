@@ -22,7 +22,15 @@ __all__ = ["validate_partition", "ValidationReport"]
 
 
 class ValidationReport:
-    """Collected validation problems (empty == valid)."""
+    """Collected validation problems (empty == valid).
+
+    >>> rep = ValidationReport()
+    >>> rep.ok
+    True
+    >>> rep.add("part 0: gate 3 missing")
+    >>> rep.ok, len(rep.problems)
+    (False, 1)
+    """
 
     def __init__(self) -> None:
         self.problems: List[str] = []
@@ -42,7 +50,17 @@ class ValidationReport:
 def validate_partition(
     circuit: QuantumCircuit, partition: Partition, raise_on_error: bool = False
 ) -> ValidationReport:
-    """Validate ``partition`` against ``circuit``; optionally raise."""
+    """Validate ``partition`` against ``circuit``; optionally raise.
+
+    Checks gate coverage, intra-part order, working-set limits and
+    quotient-graph acyclicity.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> qc = qft(6)
+    >>> validate_partition(qc, get_partitioner("dagP").partition(qc, 4)).ok
+    True
+    """
     rep = ValidationReport()
     n_gates = len(circuit)
     if partition.num_gates != n_gates:

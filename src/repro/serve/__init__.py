@@ -1,0 +1,37 @@
+"""Batched multi-circuit serving runtime.
+
+The entry point for workloads that simulate *many* circuits — parameter
+sweeps, benchmark families, request queues — instead of one.  Jobs
+(:class:`SimJob`) are canonicalised to structural fingerprints
+(:func:`circuit_fingerprint`) and routed through shared partition and
+plan caches, so structurally identical circuits pay partitioning,
+fusion grouping and gather-table construction exactly once
+(:class:`BatchRunner`).  See ``docs/serving.md`` for the manifest
+schema and the amortisation model, and ``repro batch`` for the CLI.
+"""
+
+from .jobs import (
+    JobResult,
+    SimJob,
+    circuit_fingerprint,
+    load_manifest,
+    results_to_manifest,
+)
+from .runner import BatchReport, BatchRunner, BatchStats, default_limit
+from .scheduler import SCHEDULES, fifo_order, grouped_order, order_jobs
+
+__all__ = [
+    "SimJob",
+    "JobResult",
+    "circuit_fingerprint",
+    "load_manifest",
+    "results_to_manifest",
+    "BatchRunner",
+    "BatchReport",
+    "BatchStats",
+    "default_limit",
+    "SCHEDULES",
+    "fifo_order",
+    "grouped_order",
+    "order_jobs",
+]

@@ -1,0 +1,283 @@
+"""Simulation jobs, structural fingerprints and manifest I/O.
+
+A :class:`SimJob` bundles a circuit with the outputs the caller wants
+back — final state, seeded shot counts, Pauli expectation values, or any
+combination.  Jobs are what :class:`~repro.serve.runner.BatchRunner`
+consumes; :func:`circuit_fingerprint` is the canonical structural key
+that lets the runner route structurally identical circuits (a parameter
+sweep) through one shared partition and one compiled plan structure.
+
+Manifests are plain JSON (see ``docs/serving.md`` for the schema): a
+job list where each circuit is either a named generator spec, inline
+OpenQASM text, or a path to a ``.qasm`` file, plus top-level runner
+options.  :func:`load_manifest` parses one; :func:`results_to_manifest`
+renders a list of :class:`JobResult` back to JSON-serialisable form.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits import generators, qasm
+from ..circuits.circuit import QuantumCircuit
+from ..sv.pauli import PauliTerm
+
+__all__ = [
+    "SimJob",
+    "JobResult",
+    "circuit_fingerprint",
+    "load_manifest",
+    "results_to_manifest",
+]
+
+#: Manifest keys that configure the runner rather than a job.
+_RUNNER_OPTION_KEYS = (
+    "strategy",
+    "limit",
+    "schedule",
+    "fuse",
+    "max_fused_qubits",
+    "pad_to",
+    "backend",
+    "threads",
+    "workers",
+)
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Canonical fingerprint of a circuit's *structure* (params excluded).
+
+    Hashes the register width and the ordered ``(name, qubits)`` list;
+    gate parameters are deliberately left out.  Two circuits share a
+    fingerprint exactly when they share gate names, operands and order —
+    the condition under which they partition identically and their
+    fused-plan structures (groupings, gather tables) are interchangeable.
+
+    >>> from repro.circuits.generators import qaoa
+    >>> a = qaoa(6, p=1, gammas=[0.1], betas=[0.2])
+    >>> b = qaoa(6, p=1, gammas=[0.8], betas=[0.3])   # same graph, new angles
+    >>> circuit_fingerprint(a) == circuit_fingerprint(b)
+    True
+    >>> c = qaoa(6, p=2)                              # extra round: new structure
+    >>> circuit_fingerprint(a) == circuit_fingerprint(c)
+    False
+    """
+    h = hashlib.sha256()
+    h.update(f"n={circuit.num_qubits}\n".encode())
+    for g in circuit:
+        h.update(f"{g.name}:{','.join(map(str, g.qubits))}\n".encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation request: a circuit plus the outputs wanted back.
+
+    Attributes
+    ----------
+    job_id:
+        Caller-chosen identifier echoed on the result.
+    circuit:
+        The circuit to simulate (from ``|0...0>``).
+    want_state:
+        Return the final state vector on the result.
+    shots:
+        When positive, sample this many measurement outcomes.
+    seed:
+        RNG seed for sampling (``None`` = 0, so results are always
+        deterministic and independent of scheduling order).
+    observables:
+        Pauli strings (``"ZZII"`` style or ``{qubit: op}`` maps) whose
+        expectation values to return, in order.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
+    >>> job = SimJob("bell", qc, shots=16, observables=("ZZ",))
+    >>> job.wants_anything
+    True
+    """
+
+    job_id: str
+    circuit: QuantumCircuit
+    want_state: bool = False
+    shots: int = 0
+    seed: Optional[int] = None
+    observables: Tuple[PauliTerm, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shots < 0:
+            raise ValueError("shots must be >= 0")
+        object.__setattr__(self, "observables", tuple(self.observables))
+
+    @property
+    def wants_anything(self) -> bool:
+        """True when at least one output kind was requested."""
+        return bool(self.want_state or self.shots or self.observables)
+
+
+@dataclass
+class JobResult:
+    """Outputs and accounting for one completed :class:`SimJob`.
+
+    ``state`` / ``counts`` / ``expectations`` are ``None`` unless the job
+    requested them.  ``partition_cached`` records whether the job reused
+    a partition computed for an earlier structurally identical job.
+
+    >>> r = JobResult("j0", fingerprint="ab12", num_qubits=2, num_gates=3,
+    ...               num_parts=1, seconds=0.01, partition_cached=True)
+    >>> r.job_id, r.state is None
+    ('j0', True)
+    """
+
+    job_id: str
+    fingerprint: str
+    num_qubits: int
+    num_gates: int
+    num_parts: int
+    seconds: float
+    partition_cached: bool
+    state: Optional[np.ndarray] = None
+    counts: Optional[Dict[int, int]] = None
+    expectations: Optional[List[float]] = None
+
+
+# ---------------------------------------------------------------------------
+# Manifest I/O
+# ---------------------------------------------------------------------------
+
+
+def _build_circuit(spec: Any, base_dir: str, job_id: str) -> QuantumCircuit:
+    """Resolve a manifest circuit spec to a :class:`QuantumCircuit`."""
+    if not isinstance(spec, dict):
+        raise ValueError(f"job {job_id!r}: circuit spec must be an object")
+    kinds = [k for k in ("generator", "qasm", "qasm_file") if k in spec]
+    if len(kinds) != 1:
+        raise ValueError(
+            f"job {job_id!r}: circuit spec needs exactly one of "
+            f"'generator', 'qasm', 'qasm_file'"
+        )
+    kind = kinds[0]
+    if kind == "generator":
+        name = spec["generator"]
+        qubits = spec.get("qubits")
+        if qubits is None:
+            raise ValueError(f"job {job_id!r}: generator spec needs 'qubits'")
+        kwargs = dict(spec.get("args", {}))
+        return generators.build(name, int(qubits), **kwargs)
+    if kind == "qasm":
+        return qasm.loads(spec["qasm"], name=job_id)
+    path = spec["qasm_file"]
+    if not os.path.isabs(path):
+        path = os.path.join(base_dir, path)
+    return qasm.load(path)
+
+
+def _parse_observable(term: Any) -> PauliTerm:
+    if isinstance(term, str):
+        return term
+    if isinstance(term, dict):
+        return {int(q): str(c) for q, c in term.items()}
+    raise ValueError(f"bad observable {term!r}")
+
+
+def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
+    """Parse a batch manifest into jobs and runner options.
+
+    ``source`` is a path to a JSON file or an already-parsed dict.
+    Returns ``(jobs, options)`` where ``options`` holds the top-level
+    runner keys present in the manifest (``strategy``, ``schedule``,
+    ``workers``, ...).  A job that names no outputs defaults to
+    ``want_state=True``.
+
+    >>> jobs, options = load_manifest({
+    ...     "schedule": "fifo",
+    ...     "jobs": [{"id": "g",
+    ...               "circuit": {"generator": "qft", "qubits": 4},
+    ...               "shots": 8}],
+    ... })
+    >>> options, jobs[0].job_id, jobs[0].shots, jobs[0].want_state
+    ({'schedule': 'fifo'}, 'g', 8, False)
+    """
+    base_dir = os.getcwd()
+    if isinstance(source, (str, os.PathLike)):
+        base_dir = os.path.dirname(os.path.abspath(source))
+        with open(source, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    else:
+        manifest = source
+    if not isinstance(manifest, dict) or "jobs" not in manifest:
+        raise ValueError("manifest must be an object with a 'jobs' list")
+    options = {
+        k: manifest[k] for k in _RUNNER_OPTION_KEYS if k in manifest
+    }
+    jobs: List[SimJob] = []
+    for i, entry in enumerate(manifest["jobs"]):
+        if not isinstance(entry, dict):
+            raise ValueError(f"job #{i} must be an object")
+        job_id = str(entry.get("id", f"job-{i}"))
+        circuit = _build_circuit(entry.get("circuit"), base_dir, job_id)
+        shots = int(entry.get("shots", 0))
+        seed = entry.get("seed")
+        observables = tuple(
+            _parse_observable(t) for t in entry.get("observables", ())
+        )
+        want_state = bool(entry.get("state", False))
+        if not (want_state or shots or observables):
+            want_state = True
+        jobs.append(
+            SimJob(
+                job_id=job_id,
+                circuit=circuit,
+                want_state=want_state,
+                shots=shots,
+                seed=None if seed is None else int(seed),
+                observables=observables,
+            )
+        )
+    return jobs, options
+
+
+def results_to_manifest(
+    results: Sequence[JobResult], stats: Optional[dict] = None
+) -> Dict[str, Any]:
+    """Render results to a JSON-serialisable results manifest.
+
+    States are inlined as ``[[re, im], ...]`` amplitude pairs; counts
+    are keyed by the decimal basis-state index (little-endian bit
+    convention, as everywhere in this package).
+
+    >>> r = JobResult("j0", "ab12", num_qubits=1, num_gates=1, num_parts=1,
+    ...               seconds=0.0, partition_cached=False, counts={2: 5})
+    >>> results_to_manifest([r])["jobs"][0]["counts"]
+    {'2': 5}
+    """
+    out_jobs = []
+    for r in results:
+        entry: Dict[str, Any] = {
+            "id": r.job_id,
+            "fingerprint": r.fingerprint,
+            "qubits": r.num_qubits,
+            "gates": r.num_gates,
+            "parts": r.num_parts,
+            "seconds": r.seconds,
+            "partition_cached": r.partition_cached,
+        }
+        if r.counts is not None:
+            entry["counts"] = {str(k): v for k, v in sorted(r.counts.items())}
+        if r.expectations is not None:
+            entry["expectations"] = list(r.expectations)
+        if r.state is not None:
+            entry["state"] = [
+                [float(a.real), float(a.imag)] for a in r.state
+            ]
+        out_jobs.append(entry)
+    manifest: Dict[str, Any] = {"jobs": out_jobs}
+    if stats is not None:
+        manifest["stats"] = stats
+    return manifest

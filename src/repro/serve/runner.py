@@ -1,0 +1,313 @@
+"""The batched multi-circuit execution runtime.
+
+:class:`BatchRunner` drains a queue of :class:`~repro.serve.jobs.SimJob`
+through the hierarchical pipeline with every reusable artefact shared:
+
+* one **partition cache** keyed by structural fingerprint — a QAOA
+  angle sweep partitions once, not once per job;
+* one **plan cache** (:class:`~repro.sv.fusion.PlanCache`) routed
+  through its structural layer — fusion groupings and gather tables are
+  compiled once per structure, only the fused matrices are rebuilt per
+  job (``HierarchicalExecutor.run(structural_key=...)``);
+* one **execution backend** — serial, threaded or process workers,
+  exactly as for single-circuit runs.
+
+Dispatch order comes from a pluggable schedule
+(:mod:`repro.serve.scheduler`); ``workers > 1`` additionally runs jobs
+concurrently on a thread pool (safe: the plan cache is lock-protected,
+partitioning is serialised per structure, and each job owns its state
+vector).  Results always come back in submission order and are
+bit-identical for any schedule or worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..circuits.circuit import QuantumCircuit
+from ..partition import get_partitioner
+from ..partition.base import Partition
+from ..sv.backend import ExecutionBackend
+from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, PlanCache
+from ..sv.hier import HierarchicalExecutor
+from ..sv.pauli import expectations
+from ..sv.simulator import sample_counts, zero_state
+from .jobs import JobResult, SimJob, circuit_fingerprint
+from .scheduler import order_jobs
+
+__all__ = ["BatchRunner", "BatchReport", "BatchStats", "default_limit"]
+
+
+def default_limit(num_qubits: int) -> int:
+    """The pipeline-wide default working-set limit: ``max(3, n - 3)``.
+
+    Matches ``repro simulate`` — three qubits outside every part keeps
+    the gather matrix at ``>= 8`` rows so row-block backends have work
+    to split.
+
+    >>> default_limit(16)
+    13
+    >>> default_limit(4)
+    3
+    """
+    return max(3, num_qubits - 3)
+
+
+@dataclass
+class BatchStats:
+    """Cache and throughput accounting for one :meth:`BatchRunner.run`.
+
+    ``partitions_computed`` + ``partition_hits`` equals the job count;
+    ``structures_compiled`` counts part-plan structures built (fusion
+    grouping + gather tables) and ``structure_hits`` the parts that
+    reused one.  A ``J``-job single-structure batch over a ``P``-part
+    partition therefore shows ``partitions_computed=1`` and
+    ``structures_compiled=P`` however large ``J`` grows — that
+    amortisation is the runtime's reason to exist.
+
+    >>> stats = BatchStats(num_jobs=2, unique_structures=1,
+    ...                    partitions_computed=1, partition_hits=1)
+    >>> "2 jobs (1 structures)" in stats.summary()
+    True
+    """
+
+    num_jobs: int = 0
+    unique_structures: int = 0
+    partitions_computed: int = 0
+    partition_hits: int = 0
+    structures_compiled: int = 0
+    structure_hits: int = 0
+    plans_bound: int = 0
+    seconds: float = 0.0
+    schedule: str = "fifo"
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.num_jobs} jobs ({self.unique_structures} structures) "
+            f"in {self.seconds:.3f}s [{self.schedule}]: "
+            f"partitions {self.partitions_computed} computed / "
+            f"{self.partition_hits} cached, "
+            f"plan structures {self.structures_compiled} compiled / "
+            f"{self.structure_hits} reused, "
+            f"{self.plans_bound} matrix binds"
+        )
+
+
+@dataclass
+class BatchReport:
+    """Results (submission order) plus aggregate :class:`BatchStats`.
+
+    >>> report = BatchReport(results=[], stats=BatchStats())
+    >>> len(report)
+    0
+    """
+
+    results: List[JobResult]
+    stats: BatchStats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class BatchRunner:
+    """Runs many simulation jobs through shared partition/plan caches.
+
+    Parameters
+    ----------
+    strategy:
+        Partitioner name (``"Nat"`` / ``"DFS"`` / ``"dagP"``).
+    limit:
+        Working-set limit; ``None`` derives :func:`default_limit` per
+        circuit width.
+    schedule:
+        Dispatch order policy (``"fifo"`` or ``"grouped"``; see
+        :mod:`repro.serve.scheduler`).
+    workers:
+        Concurrent jobs. ``1`` (default) dispatches sequentially in
+        schedule order; ``> 1`` uses a thread pool (results and caches
+        stay deterministic — only timing changes).
+    fuse, max_fused_qubits, mode, pad_to, backend, threads:
+        Forwarded to the underlying
+        :class:`~repro.sv.hier.HierarchicalExecutor`.
+    plan_cache:
+        Optional shared :class:`~repro.sv.fusion.PlanCache`; pass one to
+        share compiled structures with other runners or executors.
+
+    >>> from repro.circuits.generators import qaoa
+    >>> from repro.serve import SimJob
+    >>> jobs = [SimJob(f"j{k}", qaoa(6, p=1, gammas=[0.1 * k], betas=[0.2]),
+    ...                want_state=True) for k in range(4)]
+    >>> report = BatchRunner(schedule="grouped").run(jobs)
+    >>> report.stats.partitions_computed, report.stats.partition_hits
+    (1, 3)
+    >>> len(report.results[0].state)
+    64
+    """
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "dagP",
+        limit: Optional[int] = None,
+        schedule: str = "grouped",
+        workers: int = 1,
+        fuse: bool = True,
+        max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+        mode: str = "batched",
+        pad_to: int = 0,
+        backend: Union[None, str, ExecutionBackend] = None,
+        threads: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        order_jobs(schedule, [])  # validate the schedule name early
+        self.strategy = strategy
+        self.limit = limit
+        self.schedule = schedule
+        self.workers = int(workers)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._executor = HierarchicalExecutor(
+            mode=mode,
+            pad_to=pad_to,
+            fuse=fuse,
+            max_fused_qubits=max_fused_qubits,
+            plan_cache=self.plan_cache,
+            backend=backend,
+            threads=threads,
+        )
+        # Key -> Partition, or a threading.Event while one worker computes.
+        self._partitions: Dict[Tuple[str, str, int], object] = {}
+        self._partition_lock = threading.Lock()
+        self.partition_hits = 0
+        self.partitions_computed = 0
+
+    # -- partition cache ---------------------------------------------------
+
+    def _partition_for(
+        self, circuit: QuantumCircuit, fingerprint: str
+    ) -> Tuple[Partition, bool]:
+        """Partition from cache; ``(partition, was_cached)``.
+
+        Partitioning is keyed by ``(fingerprint, strategy, limit)`` —
+        partitioners only consult gate operands and order, never
+        parameters, so one partition serves every circuit that shares a
+        structure.  Each structure is partitioned exactly once even
+        under concurrent workers, but *different* structures partition
+        concurrently: the cache lock only guards the dict, and a
+        per-key event makes same-structure followers wait on the one
+        computing thread instead of on a global lock.
+        """
+        limit = (
+            self.limit
+            if self.limit
+            else default_limit(circuit.num_qubits)
+        )
+        key = (fingerprint, self.strategy, limit)
+        while True:
+            with self._partition_lock:
+                entry = self._partitions.get(key)
+                if isinstance(entry, Partition):
+                    self.partition_hits += 1
+                    return entry, True
+                if entry is None:
+                    gate = threading.Event()
+                    self._partitions[key] = gate
+                    break
+            # Another worker is partitioning this structure: wait for it
+            # and re-read (the entry is removed if that worker failed).
+            entry.wait()
+        try:
+            partition = get_partitioner(self.strategy).partition(
+                circuit, limit
+            )
+        except BaseException:
+            with self._partition_lock:
+                self._partitions.pop(key, None)
+            gate.set()
+            raise
+        with self._partition_lock:
+            self._partitions[key] = partition
+            self.partitions_computed += 1
+        gate.set()
+        return partition, False
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_one(self, job: SimJob, fingerprint: str) -> JobResult:
+        t0 = time.perf_counter()
+        partition, cached = self._partition_for(job.circuit, fingerprint)
+        state = zero_state(job.circuit.num_qubits)
+        self._executor.run(
+            job.circuit, partition, state, structural_key=fingerprint
+        )
+        counts = None
+        if job.shots:
+            counts = sample_counts(
+                state, job.shots, 0 if job.seed is None else job.seed
+            )
+        values = None
+        if job.observables:
+            values = expectations(
+                state, job.observables, job.circuit.num_qubits
+            )
+        return JobResult(
+            job_id=job.job_id,
+            fingerprint=fingerprint,
+            num_qubits=job.circuit.num_qubits,
+            num_gates=len(job.circuit),
+            num_parts=partition.num_parts,
+            seconds=time.perf_counter() - t0,
+            partition_cached=cached,
+            state=state if job.want_state else None,
+            counts=counts,
+            expectations=values,
+        )
+
+    def run(self, jobs: Sequence[SimJob]) -> BatchReport:
+        """Execute every job; results return in **submission** order."""
+        t0 = time.perf_counter()
+        cache = self.plan_cache
+        before = (
+            self.partitions_computed,
+            self.partition_hits,
+            cache.structure_misses,
+            cache.structure_hits,
+            cache.misses,
+        )
+        fingerprints = [circuit_fingerprint(j.circuit) for j in jobs]
+        order = order_jobs(self.schedule, fingerprints)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        if self.workers == 1 or len(jobs) <= 1:
+            for i in order:
+                results[i] = self._run_one(jobs[i], fingerprints[i])
+        else:
+            with ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-batch"
+            ) as pool:
+                futures = [
+                    (i, pool.submit(self._run_one, jobs[i], fingerprints[i]))
+                    for i in order
+                ]
+                for i, f in futures:
+                    results[i] = f.result()
+        stats = BatchStats(
+            num_jobs=len(jobs),
+            unique_structures=len(set(fingerprints)),
+            partitions_computed=self.partitions_computed - before[0],
+            partition_hits=self.partition_hits - before[1],
+            structures_compiled=cache.structure_misses - before[2],
+            structure_hits=cache.structure_hits - before[3],
+            plans_bound=cache.misses - before[4],
+            seconds=time.perf_counter() - t0,
+            schedule=self.schedule,
+        )
+        return BatchReport(results=results, stats=stats)  # type: ignore[arg-type]

@@ -92,6 +92,11 @@ def split_blocks(total: int, parts: int) -> List[Tuple[int, int]]:
     Depends only on ``(total, parts)`` — never on scheduling — which is
     what makes threaded execution reproducible run-to-run: the same rows
     always land in the same block, and blocks write disjoint slices.
+
+    >>> split_blocks(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    >>> split_blocks(2, 8)       # never more blocks than rows
+    [(0, 1), (1, 2)]
     """
     if total < 0 or parts < 1:
         raise ValueError("need total >= 0 and parts >= 1")
@@ -123,6 +128,11 @@ class ExecutionBackend:
     ``begin_run``/``end_run`` bracket a multi-part execution so backends
     that stage the state elsewhere (shared memory) pay the round trip
     once per run instead of once per part.
+
+    >>> resolve_backend("serial").describe()
+    'serial'
+    >>> get_backend("threaded", threads=4).describe()
+    'threaded[4]'
     """
 
     name = "abstract"
@@ -200,7 +210,15 @@ def _run_part_serial(plan, state: np.ndarray, num_qubits: int, mode: str) -> Non
 
 
 class SerialBackend(ExecutionBackend):
-    """Single-threaded execution — the reference all others must match."""
+    """Single-threaded execution — the reference all others must match.
+
+    >>> import numpy as np
+    >>> from repro.circuits.gates import make_gate
+    >>> state = np.zeros(4, dtype=np.complex128); state[0] = 1.0
+    >>> SerialBackend().apply_gate_flat(state, make_gate("x", [0]), 2)
+    >>> int(state.argmax())
+    1
+    """
 
     name = "serial"
 
@@ -220,6 +238,15 @@ class SerialBackend(ExecutionBackend):
 
 class ThreadedBackend(ExecutionBackend):
     """Row-block parallelism on a thread pool.
+
+    >>> import numpy as np
+    >>> rows = np.eye(4, dtype=np.complex128)
+    >>> backend = ThreadedBackend(2, min_parallel_elements=0)
+    >>> X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+    >>> backend.apply_matrix_rows(rows, X, [0], 2)
+    >>> [int(r.argmax()) for r in rows]       # qubit 0 flipped per row
+    [1, 0, 3, 2]
+    >>> backend.close()
 
     Parameters
     ----------
@@ -436,6 +463,12 @@ class ProcessBackend(ExecutionBackend):
     Use when per-block GEMMs are too small for :class:`ThreadedBackend`
     to win against the GIL-holding portions of the sweep; threads are
     otherwise strictly cheaper.
+
+    >>> backend = ProcessBackend(2)     # small workloads fall back inline,
+    >>> backend.num_active_sessions     # so this spawns no processes
+    0
+    >>> backend.describe()
+    'process[2]'
     """
 
     name = "process"
@@ -611,7 +644,13 @@ _shared_lock = threading.Lock()
 def get_backend(
     name: str, *, threads: Optional[int] = None, **kwargs
 ) -> ExecutionBackend:
-    """Construct a fresh backend by name (caller owns/closes it)."""
+    """Construct a fresh backend by name (caller owns/closes it).
+
+    >>> get_backend("serial").name
+    'serial'
+    >>> get_backend("threaded", threads=2).threads
+    2
+    """
     if name not in _BACKEND_CLASSES:
         raise KeyError(
             f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
@@ -630,6 +669,9 @@ def shared_backend(
     so a test suite running under ``REPRO_BACKEND=threaded`` spins up
     one thread pool, not one per executor.  Shared instances are never
     closed by their users; they live for the process.
+
+    >>> shared_backend("serial") is shared_backend("serial")
+    True
     """
     key = (name, threads)
     with _shared_lock:
@@ -649,6 +691,12 @@ def resolve_backend(
     ``None`` consults ``REPRO_BACKEND`` (default ``serial``); a string
     names a shared instance; an :class:`ExecutionBackend` passes
     through.  ``threads`` defaults from ``REPRO_THREADS`` when unset.
+
+    >>> resolve_backend("threaded", 2).describe()
+    'threaded[2]'
+    >>> backend = SerialBackend()
+    >>> resolve_backend(backend) is backend
+    True
     """
     if isinstance(spec, ExecutionBackend):
         return spec

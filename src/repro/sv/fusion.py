@@ -36,6 +36,8 @@ __all__ = [
     "FusedGate",
     "FusionGroup",
     "plan_fusion_groups",
+    "PartPlanStructure",
+    "build_part_structure",
     "CompiledPartPlan",
     "PlanCache",
     "compile_part",
@@ -52,7 +54,11 @@ DIAGONAL_BONUS_QUBITS = 2
 class FusionGroup:
     """One fusion group: member positions (in the source gate list, in
     original order), the union working set in first-seen operand order,
-    and whether every member is diagonal."""
+    and whether every member is diagonal.
+
+    >>> FusionGroup(members=(0, 2), qubits=(1, 3), diagonal=False).qubits
+    (1, 3)
+    """
 
     members: Tuple[int, ...]
     qubits: Tuple[int, ...]
@@ -71,6 +77,11 @@ def plan_fusion_groups(
     ``g``'s qubits.  Groups are emitted in creation order with members in
     source order, which reproduces the original gate order up to swaps of
     disjoint (hence commuting) gates.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).h(2)
+    >>> [g.members for g in plan_fusion_groups(qc.gates, 2)]  # h(2) overflows
+    [(0, 1), (2,)]
     """
     if max_fused_qubits < 1:
         raise ValueError("max_fused_qubits must be >= 1")
@@ -130,6 +141,13 @@ class FusedGate:
     executors and the cost model need it: ``qubits``, ``num_qubits``,
     ``is_diagonal`` and ``matrix()``.  The matrix is built once and shared
     read-only; ``matrix()`` intentionally does *not* copy.
+
+    >>> import numpy as np
+    >>> fg = FusedGate((2, 5), np.eye(4, dtype=np.complex128), False)
+    >>> fg.num_qubits, fg.is_diagonal
+    (2, False)
+    >>> fg.remap({2: 0, 5: 1}).qubits
+    (0, 1)
     """
 
     __slots__ = ("qubits", "diagonal", "source_indices", "_matrix")
@@ -232,6 +250,158 @@ def _group_matrix(gates: Sequence[Gate], group: FusionGroup) -> np.ndarray:
     return np.ascontiguousarray(cols.T)
 
 
+#: Gather tables above this many int64 elements (2 MB) are rebuilt per
+#: call instead of retained — plans live in long-lived caches, and an
+#: O(2^n) table pinned per part would dwarf the fused matrices.
+_TABLE_CACHE_MAX_ELEMENTS = 1 << 18
+
+
+class PartPlanStructure:
+    """The parameter-independent half of a compiled part plan.
+
+    Everything about a part's execution that does **not** depend on gate
+    parameters lives here: the fusion grouping, the working-set qubit
+    tuple and the (memoised) Algorithm-1 gather table.  Grouping only
+    consults gate *names* and operands — diagonality is a property of
+    the gate definition, never of its angles — so two circuits that
+    differ only in parameters (a QAOA angle sweep) share one structure.
+
+    :meth:`bind` attaches concrete matrices for a particular gate list,
+    producing a :class:`CompiledPartPlan` that shares this structure's
+    gather-table memo.  That split is what lets the serving runtime
+    (:mod:`repro.serve`) compile a parameter sweep's structure once and
+    pay only fresh (cheap, ``2^k``-sized) matrix products per job.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc1 = QuantumCircuit(2).rz(0.1, 0).cx(0, 1)
+    >>> qc2 = QuantumCircuit(2).rz(0.9, 0).cx(0, 1)   # same structure
+    >>> s = build_part_structure(qc1, [0, 1], [0, 1])
+    >>> plan1, plan2 = s.bind(qc1.gates), s.bind(qc2.gates)
+    >>> (plan1.num_ops, plan2.num_ops)
+    (1, 1)
+    >>> bool((plan1.ops[0].matrix() != plan2.ops[0].matrix()).any())
+    True
+    """
+
+    __slots__ = (
+        "qubits",
+        "groups",
+        "num_source_gates",
+        "fused",
+        "max_fused_qubits",
+        "_table",
+    )
+
+    def __init__(
+        self,
+        qubits: Tuple[int, ...],
+        groups: Tuple[FusionGroup, ...],
+        num_source_gates: int,
+        fused: bool,
+        max_fused_qubits: int,
+    ) -> None:
+        self.qubits = tuple(qubits)
+        self.groups = tuple(groups)
+        self.num_source_gates = int(num_source_gates)
+        self.fused = bool(fused)
+        self.max_fused_qubits = int(max_fused_qubits)
+        self._table: Optional[Tuple[int, np.ndarray]] = None
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.groups)
+
+    def gather_table(self, num_qubits: int) -> np.ndarray:
+        """Algorithm-1 gather table for this working set (small ones cached).
+
+        The memo is shared by every plan bound from this structure — a
+        benign race between threads recomputes an identical array.
+        """
+        if self._table is not None and self._table[0] == num_qubits:
+            return self._table[1]
+        table = gather_index_table(num_qubits, self.qubits)
+        if table.size <= _TABLE_CACHE_MAX_ELEMENTS:
+            self._table = (num_qubits, table)
+        return table
+
+    def bind(
+        self,
+        gates: Sequence[Gate],
+        source_indices: Sequence[int] = (),
+    ) -> "CompiledPartPlan":
+        """Build fused matrices for ``gates`` against this structure.
+
+        ``gates`` must be structurally identical (same names and
+        operands, any parameters) to the gate list the structure was
+        planned from; ``source_indices`` optionally records the gates'
+        original circuit positions on the resulting ops.
+        """
+        if len(gates) != self.num_source_gates:
+            raise ValueError(
+                f"structure spans {self.num_source_gates} gates, "
+                f"got {len(gates)}"
+            )
+        idx = tuple(source_indices) if source_indices else None
+        ops = tuple(
+            FusedGate(
+                grp.qubits,
+                _group_matrix(gates, grp),
+                grp.diagonal,
+                tuple(idx[m] for m in grp.members)
+                if idx is not None
+                else tuple(grp.members),
+            )
+            for grp in self.groups
+        )
+        return CompiledPartPlan(
+            self.qubits,
+            ops,
+            self.num_source_gates,
+            self.fused,
+            self.max_fused_qubits,
+            structure=self,
+        )
+
+
+def build_part_structure(
+    circuit: QuantumCircuit,
+    gate_indices: Sequence[int],
+    inner_qubits: Sequence[int],
+    *,
+    fuse: bool = True,
+    max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+) -> PartPlanStructure:
+    """Plan one part's fusion structure (no matrices are built).
+
+    Fusion arity is capped by the working-set size; with ``fuse=False``
+    every gate becomes its own (single-member) group so both paths
+    execute through the identical plan machinery.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+    >>> s = build_part_structure(qc, [0, 1, 2], [0, 1, 2])
+    >>> s.num_ops, s.num_source_gates
+    (1, 3)
+    """
+    gates = [circuit[g] for g in gate_indices]
+    width = len(inner_qubits)
+    effective = max(1, min(max_fused_qubits, width)) if width else 1
+    if fuse and len(gates) > 1:
+        groups = plan_fusion_groups(
+            gates,
+            effective,
+            min(effective + DIAGONAL_BONUS_QUBITS, max(width, 1)),
+        )
+    else:
+        groups = [
+            FusionGroup((i,), g.qubits, g.is_diagonal)
+            for i, g in enumerate(gates)
+        ]
+    return PartPlanStructure(
+        tuple(inner_qubits), tuple(groups), len(gates), bool(fuse), effective
+    )
+
+
 class CompiledPartPlan:
     """A part's gate list compiled to fused ops, plus cached index tables.
 
@@ -239,6 +409,19 @@ class CompiledPartPlan:
     distributed engines, whose remap step makes part qubits local);
     :meth:`local_ops` returns the same ops renamed to positions within
     ``qubits`` for the hierarchical gather/execute/scatter path.
+
+    Every plan is bound from a :class:`PartPlanStructure`
+    (``structure``) and shares that structure's gather-table memo, so
+    structurally identical circuits (parameter sweeps) never rebuild
+    the ``O(2^n)`` index table.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1)
+    >>> plan = compile_part(qc, [0, 1, 2], [0, 1])
+    >>> plan.num_source_gates, plan.num_ops, plan.sweeps_saved
+    (3, 1, 2)
+    >>> plan.gather_table(2).shape        # one inner vector spans the state
+    (1, 4)
     """
 
     __slots__ = (
@@ -247,8 +430,8 @@ class CompiledPartPlan:
         "num_source_gates",
         "fused",
         "max_fused_qubits",
+        "structure",
         "_local_ops",
-        "_table",
     )
 
     def __init__(
@@ -258,14 +441,15 @@ class CompiledPartPlan:
         num_source_gates: int,
         fused: bool,
         max_fused_qubits: int,
+        structure: PartPlanStructure,
     ) -> None:
         self.qubits = tuple(qubits)
         self.ops = tuple(ops)
         self.num_source_gates = int(num_source_gates)
         self.fused = bool(fused)
         self.max_fused_qubits = int(max_fused_qubits)
+        self.structure = structure
         self._local_ops: Optional[Tuple[FusedGate, ...]] = None
-        self._table: Optional[Tuple[int, np.ndarray]] = None
 
     @property
     def num_ops(self) -> int:
@@ -283,19 +467,13 @@ class CompiledPartPlan:
             self._local_ops = tuple(op.remap(pos) for op in self.ops)
         return self._local_ops
 
-    #: Gather tables above this many int64 elements (2 MB) are rebuilt per
-    #: call instead of retained — plans live in long-lived caches, and an
-    #: O(2^n) table pinned per part would dwarf the fused matrices.
-    _TABLE_CACHE_MAX_ELEMENTS = 1 << 18
-
     def gather_table(self, num_qubits: int) -> np.ndarray:
-        """Algorithm-1 gather table for this working set (small ones cached)."""
-        if self._table is not None and self._table[0] == num_qubits:
-            return self._table[1]
-        table = gather_index_table(num_qubits, self.qubits)
-        if table.size <= self._TABLE_CACHE_MAX_ELEMENTS:
-            self._table = (num_qubits, table)
-        return table
+        """Algorithm-1 gather table for this working set (small ones cached).
+
+        Delegates to the structure's memo, shared by every plan bound
+        from it.
+        """
+        return self.structure.gather_table(num_qubits)
 
 
 def compile_part(
@@ -308,35 +486,25 @@ def compile_part(
 ) -> CompiledPartPlan:
     """Compile one part's gates against working set ``inner_qubits``.
 
-    Fusion arity is capped by the working-set size; with ``fuse=False``
-    every gate becomes its own (single-member) op so both paths execute
-    through the identical plan machinery.
+    Convenience composition of :func:`build_part_structure` and
+    :meth:`PartPlanStructure.bind` for the single-circuit case.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).h(1)
+    >>> compile_part(qc, [0, 1, 2], [0, 1]).num_ops
+    1
+    >>> compile_part(qc, [0, 1, 2], [0, 1], fuse=False).num_ops
+    3
     """
-    gates = [circuit[g] for g in gate_indices]
-    width = len(inner_qubits)
-    effective = max(1, min(max_fused_qubits, width)) if width else 1
-    if fuse and len(gates) > 1:
-        groups = plan_fusion_groups(
-            gates,
-            effective,
-            min(effective + DIAGONAL_BONUS_QUBITS, max(width, 1)),
-        )
-    else:
-        groups = [
-            FusionGroup((i,), g.qubits, g.is_diagonal)
-            for i, g in enumerate(gates)
-        ]
-    ops = tuple(
-        FusedGate(
-            grp.qubits,
-            _group_matrix(gates, grp),
-            grp.diagonal,
-            tuple(gate_indices[m] for m in grp.members),
-        )
-        for grp in groups
+    structure = build_part_structure(
+        circuit,
+        gate_indices,
+        inner_qubits,
+        fuse=fuse,
+        max_fused_qubits=max_fused_qubits,
     )
-    return CompiledPartPlan(
-        tuple(inner_qubits), ops, len(gates), bool(fuse), effective
+    return structure.bind(
+        [circuit[g] for g in gate_indices], tuple(gate_indices)
     )
 
 
@@ -356,6 +524,24 @@ class PlanCache:
     / ``gather_table`` memos in :class:`CompiledPartPlan` are idempotent
     — a benign race recomputes an identical value), so returned plans may
     be used from any number of threads without further locking.
+
+    Beyond the per-circuit (``id``-keyed) plan layer, the cache holds a
+    **structural** layer keyed by a caller-supplied fingerprint (see
+    :func:`repro.serve.circuit_fingerprint`): :meth:`get_or_bind` reuses
+    one :class:`PartPlanStructure` — fusion grouping plus gather tables —
+    across all circuits sharing a structure, binding only fresh matrices
+    per circuit.  ``structure_hits`` / ``structure_misses`` account that
+    layer; a parameter sweep of ``J`` structurally identical jobs over a
+    ``P``-part partition shows exactly ``P`` structure misses and
+    ``(J - 1) * P`` structure hits.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
+    >>> cache = PlanCache()
+    >>> p1 = cache.get_or_compile(qc, [0, 1], [0, 1])
+    >>> p2 = cache.get_or_compile(qc, [0, 1], [0, 1])    # same part: hit
+    >>> p1 is p2, cache.hits, cache.misses
+    (True, 1, 1)
     """
 
     def __init__(self, max_entries: int = 1024) -> None:
@@ -366,6 +552,8 @@ class PlanCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.structure_hits = 0
+        self.structure_misses = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -410,6 +598,84 @@ class PlanCache:
                 self._entries.popitem(last=False)
             return plan
 
+    def get_or_bind(
+        self,
+        circuit: QuantumCircuit,
+        gate_indices: Sequence[int],
+        inner_qubits: Sequence[int],
+        *,
+        structural_key,
+        fuse: bool = True,
+        max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+    ) -> CompiledPartPlan:
+        """Plan via the structural layer: reuse structure, bind matrices.
+
+        ``structural_key`` must identify the circuit's *structure* (gate
+        names and operands in order — parameters excluded); callers
+        normally pass :func:`repro.serve.circuit_fingerprint`.  A bound
+        plan is still memoised per concrete circuit object (same ``hits``
+        / ``misses`` accounting as :meth:`get_or_compile`), so re-running
+        one circuit skips even matrix construction; a structurally
+        identical *new* circuit reuses the cached
+        :class:`PartPlanStructure` and pays only fresh matrix products.
+
+        Matrix binding runs *outside* the cache lock — per-job matrix
+        construction is the part of a batched sweep that scales with the
+        job count, so concurrent workers binding different circuits must
+        not serialise on the cache.  A rare same-circuit race binds
+        twice and keeps the first insertion (structures themselves stay
+        compiled exactly once, under the lock).
+        """
+        bound_key = (
+            "bound",
+            id(circuit),
+            tuple(gate_indices),
+            tuple(inner_qubits),
+            bool(fuse),
+            int(max_fused_qubits),
+        )
+        struct_key = (
+            "struct",
+            structural_key,
+            tuple(gate_indices),
+            tuple(inner_qubits),
+            bool(fuse),
+            int(max_fused_qubits),
+        )
+        with self._lock:
+            entry = self._entries.get(bound_key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(bound_key)
+                return entry[1]
+            self.misses += 1
+            sentry = self._entries.get(struct_key)
+            if sentry is not None:
+                self.structure_hits += 1
+                self._entries.move_to_end(struct_key)
+                structure = sentry[1]
+            else:
+                self.structure_misses += 1
+                structure = build_part_structure(
+                    circuit,
+                    gate_indices,
+                    inner_qubits,
+                    fuse=fuse,
+                    max_fused_qubits=max_fused_qubits,
+                )
+                self._entries[struct_key] = (None, structure)
+        plan = structure.bind(
+            [circuit[g] for g in gate_indices], tuple(gate_indices)
+        )
+        with self._lock:
+            entry = self._entries.get(bound_key)
+            if entry is not None:
+                return entry[1]
+            self._entries[bound_key] = (circuit, plan)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return plan
+
 
 def compile_partition(
     circuit: QuantumCircuit,
@@ -420,7 +686,18 @@ def compile_partition(
     max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
     cache: Optional[PlanCache] = None,
 ) -> List[CompiledPartPlan]:
-    """Compile every part of a partition, in execution order."""
+    """Compile every part of a partition, in execution order.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> qc = qft(6)
+    >>> partition = get_partitioner("dagP").partition(qc, 4)
+    >>> plans = compile_partition(qc, partition)
+    >>> len(plans) == partition.num_parts
+    True
+    >>> sum(p.num_ops for p in plans) < len(qc)     # fusion saved sweeps
+    True
+    """
     from .hier import pad_working_set  # local import: hier imports us too
 
     n = circuit.num_qubits

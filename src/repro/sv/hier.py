@@ -54,6 +54,10 @@ class ExecutionTrace:
     fusion saved.  ``part_seconds`` records measured wall time per part
     and ``backend_parts`` counts parts per backend identity (e.g.
     ``{"threaded[4]": 3}``), so a run's parallel coverage is auditable.
+
+    >>> trace = ExecutionTrace(part_gates=[10, 6], part_ops=[3, 2])
+    >>> trace.num_parts, trace.total_gates, trace.sweeps_saved
+    (2, 16, 11)
     """
 
     part_qubits: List[Tuple[int, ...]] = field(default_factory=list)
@@ -96,6 +100,11 @@ def pad_working_set(
     small parts up to the level limit for spatial locality.  A ``pad_to``
     at or below the natural working-set size leaves the set unchanged
     (padding never shrinks a part).
+
+    >>> pad_working_set([2, 5], num_qubits=8, pad_to=4)
+    (0, 1, 2, 5)
+    >>> pad_working_set([2, 5], num_qubits=8, pad_to=0)
+    (2, 5)
     """
     out = list(qubits)
     have = set(out)
@@ -110,6 +119,17 @@ def pad_working_set(
 
 class HierarchicalExecutor:
     """Runs a partitioned circuit against a full state vector.
+
+    >>> import numpy as np
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> from repro.sv.simulator import StateVectorSimulator, zero_state
+    >>> qc = qft(6)
+    >>> partition = get_partitioner("dagP").partition(qc, 4)
+    >>> state = HierarchicalExecutor().run(qc, partition, zero_state(6))
+    >>> sim = StateVectorSimulator(6); _ = sim.run(qc)
+    >>> bool(np.allclose(state, sim.state, atol=1e-12))
+    True
 
     Parameters
     ----------
@@ -161,8 +181,19 @@ class HierarchicalExecutor:
         partition: Partition,
         state: np.ndarray,
         trace: Optional[ExecutionTrace] = None,
+        *,
+        structural_key=None,
     ) -> np.ndarray:
-        """Execute all parts in order against ``state`` (in place)."""
+        """Execute all parts in order against ``state`` (in place).
+
+        ``structural_key`` (optional) routes plan lookup through the
+        plan cache's structural layer: pass a fingerprint of the
+        circuit's structure (:func:`repro.serve.circuit_fingerprint`)
+        and structurally identical circuits — parameter sweeps — reuse
+        one fusion structure and its gather tables, rebuilding only the
+        fused matrices.  Without it, plans are keyed per circuit object
+        exactly as before.
+        """
         n = circuit.num_qubits
         if state.shape != (1 << n,):
             raise ValueError("state length mismatch")
@@ -174,13 +205,23 @@ class HierarchicalExecutor:
                 inner_qubits = part.qubits
                 if self.pad_to:
                     inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
-                plan = self.plan_cache.get_or_compile(
-                    circuit,
-                    part.gate_indices,
-                    inner_qubits,
-                    fuse=self.fuse,
-                    max_fused_qubits=self.max_fused_qubits,
-                )
+                if structural_key is not None:
+                    plan = self.plan_cache.get_or_bind(
+                        circuit,
+                        part.gate_indices,
+                        inner_qubits,
+                        structural_key=structural_key,
+                        fuse=self.fuse,
+                        max_fused_qubits=self.max_fused_qubits,
+                    )
+                else:
+                    plan = self.plan_cache.get_or_compile(
+                        circuit,
+                        part.gate_indices,
+                        inner_qubits,
+                        fuse=self.fuse,
+                        max_fused_qubits=self.max_fused_qubits,
+                    )
                 self._run_part(plan, state, n, trace)
         finally:
             self.backend.end_run(state)

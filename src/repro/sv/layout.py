@@ -27,7 +27,13 @@ __all__ = [
 
 
 def axis_of_qubit(n: int, q: int) -> int:
-    """Tensor-view axis of qubit ``q`` in an ``n``-qubit C-ordered view."""
+    """Tensor-view axis of qubit ``q`` in an ``n``-qubit C-ordered view.
+
+    >>> axis_of_qubit(5, 0)   # least-significant qubit = last axis
+    4
+    >>> axis_of_qubit(5, 4)
+    0
+    """
     if not 0 <= q < n:
         raise ValueError(f"qubit {q} out of range for n={n}")
     return n - 1 - q
@@ -38,6 +44,9 @@ def spread_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
 
     Bit ``i`` of each value is placed at ``positions[i]`` of the result
     (a vectorised PDEP).  Positions must be distinct.
+
+    >>> spread_bits(np.array([0b11]), [0, 3])   # bits land at 0 and 3
+    array([9])
     """
     values = np.asarray(values, dtype=np.int64)
     out = np.zeros_like(values)
@@ -51,6 +60,9 @@ def extract_bits(values: np.ndarray, positions: Sequence[int]) -> np.ndarray:
 
     Bit at ``positions[i]`` of each value becomes bit ``i`` of the result
     (a vectorised PEXT).  Inverse of :func:`spread_bits` on its image.
+
+    >>> extract_bits(np.array([0b1001]), [0, 3])
+    array([3])
     """
     values = np.asarray(values, dtype=np.int64)
     out = np.zeros_like(values)
@@ -64,6 +76,9 @@ def permute_bits(values: np.ndarray, sigma: Sequence[int]) -> np.ndarray:
 
     ``sigma`` must be a permutation of ``range(len(sigma))``; bits above
     ``len(sigma)`` must be zero in ``values``.
+
+    >>> permute_bits(np.array([0b01]), [1, 0])   # swap the low two bits
+    array([2])
     """
     values = np.asarray(values, dtype=np.int64)
     out = np.zeros_like(values)
@@ -80,6 +95,12 @@ def gather_index_table(n: int, inner_qubits: Sequence[int]) -> np.ndarray:
     fixes the non-inner qubits to the bits of ``t`` and the inner qubits
     (in the given order, first = least significant of ``j``) to the bits of
     ``j``.  ``out_sv[table[t]]`` *is* the ``t``-th inner state vector.
+
+    >>> gather_index_table(3, [1])     # inner qubit 1; outer qubits 0, 2
+    array([[0, 2],
+           [1, 3],
+           [4, 6],
+           [5, 7]])
     """
     inner = list(inner_qubits)
     if len(set(inner)) != len(inner):
@@ -96,6 +117,10 @@ def gather_index_rows(
     ``(hi - lo, 2^w)``) instead of receiving a slice of the full
     ``O(2^n)`` table — the process backend rebuilds per-block tables on
     the worker side from ``(n, inner_qubits, lo, hi)`` alone.
+
+    >>> rows = gather_index_rows(3, [1], 2, 4)
+    >>> bool((rows == gather_index_table(3, [1])[2:4]).all())
+    True
     """
     inner = list(inner_qubits)
     outer = [q for q in range(n) if q not in set(inner)]
@@ -113,6 +138,14 @@ class QubitLayout:
     Position ``p`` means "bit ``p`` of the packed storage index".  In the
     distributed setting positions ``>= local_bits`` address the rank and the
     rest address the offset within the rank's shard (Sec. III-D).
+
+    >>> layout = QubitLayout([1, 0, 2])    # qubits 0 and 1 swapped
+    >>> layout.position(0), layout.qubit_at(0)
+    (1, 1)
+    >>> int(layout.packed_index(np.array([0b001]))[0])   # |q0=1> stored at bit 1
+    2
+    >>> layout.transition_sigma(QubitLayout.identity(3))
+    [1, 0, 2]
     """
 
     __slots__ = ("n", "_pos_of_qubit", "_qubit_at_pos")
@@ -133,14 +166,17 @@ class QubitLayout:
 
     @classmethod
     def identity(cls, n: int) -> "QubitLayout":
+        """The layout storing qubit ``q`` at bit position ``q``."""
         return cls(range(n))
 
     # -- queries ----------------------------------------------------------
 
     def position(self, qubit: int) -> int:
+        """Storage-bit position of ``qubit``."""
         return self._pos_of_qubit[qubit]
 
     def qubit_at(self, position: int) -> int:
+        """Qubit stored at bit ``position`` (inverse of :meth:`position`)."""
         return self._qubit_at_pos[position]
 
     @property

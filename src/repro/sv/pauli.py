@@ -10,11 +10,11 @@ Z-only strings and exactly one permuted view otherwise.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["pauli_expectation", "PauliTerm", "energy"]
+__all__ = ["pauli_expectation", "PauliTerm", "expectations", "energy"]
 
 PauliTerm = Union[str, Mapping[int, str]]
 
@@ -40,7 +40,19 @@ def _normalise(term: PauliTerm, num_qubits: int) -> Dict[int, str]:
 def pauli_expectation(
     state: np.ndarray, term: PauliTerm, num_qubits: int
 ) -> float:
-    """``<state| P |state>`` for one Pauli string (real by Hermiticity)."""
+    """``<state| P |state>`` for one Pauli string (real by Hermiticity).
+
+    Accepts ``"XZI"``-style strings (qubit 0 leftmost) or sparse
+    ``{qubit: op}`` maps.
+
+    >>> import numpy as np
+    >>> state = np.zeros(2, dtype=np.complex128); state[1] = 1.0   # |1>
+    >>> pauli_expectation(state, "Z", 1)
+    -1.0
+    >>> plus = np.full(2, 2**-0.5, dtype=np.complex128)            # |+>
+    >>> round(pauli_expectation(plus, {0: "X"}, 1), 12)
+    1.0
+    """
     ops = _normalise(term, num_qubits)
     if state.shape != (1 << num_qubits,):
         raise ValueError("state length mismatch")
@@ -62,12 +74,36 @@ def pauli_expectation(
     return float(np.real(np.sum(np.conj(state) * phase * flipped)))
 
 
+def expectations(
+    state: np.ndarray,
+    terms: Sequence[PauliTerm],
+    num_qubits: int,
+) -> List[float]:
+    """``<state| P_k |state>`` for a sequence of Pauli strings.
+
+    The batched form the serving runtime uses for expectation-value job
+    outputs: one float per requested term, in order.
+
+    >>> import numpy as np
+    >>> state = np.zeros(4, dtype=np.complex128); state[0] = 1.0  # |00>
+    >>> [round(v, 12) for v in expectations(state, ["ZI", "ZZ", "XI"], 2)]
+    [1.0, 1.0, 0.0]
+    """
+    return [pauli_expectation(state, term, num_qubits) for term in terms]
+
+
 def energy(
     state: np.ndarray,
     hamiltonian: Iterable[Tuple[float, PauliTerm]],
     num_qubits: int,
 ) -> float:
-    """Weighted sum of Pauli expectations: ``sum_k c_k <P_k>``."""
+    """Weighted sum of Pauli expectations: ``sum_k c_k <P_k>``.
+
+    >>> import numpy as np
+    >>> state = np.zeros(4, dtype=np.complex128); state[0] = 1.0   # |00>
+    >>> energy(state, [(0.5, "ZI"), (-2.0, "ZZ")], 2)   # 0.5*1 - 2*1
+    -1.5
+    """
     return sum(
         float(c) * pauli_expectation(state, term, num_qubits)
         for c, term in hamiltonian

@@ -1,0 +1,66 @@
+"""The docs tree is part of the contract: pages exist, links resolve.
+
+The CI docs job runs ``scripts/check_links.py`` standalone; this test
+keeps the same check inside tier 1 so broken docs fail fast locally.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+REQUIRED_PAGES = [
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/serving.md",
+    "docs/configuration.md",
+]
+
+
+def test_docs_tree_exists():
+    for page in REQUIRED_PAGES:
+        assert os.path.exists(os.path.join(REPO, page)), f"missing {page}"
+
+
+def test_readme_links_into_docs():
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as fh:
+        readme = fh.read()
+    for page in REQUIRED_PAGES:
+        assert page in readme, f"README does not link to {page}"
+
+
+def test_markdown_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO, "scripts", "check_links.py")],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, f"broken markdown links:\n{proc.stdout}"
+
+
+def test_configuration_page_covers_env_vars():
+    """Every REPRO_* variable read by the code is documented."""
+    import re
+
+    documented = open(
+        os.path.join(REPO, "docs", "configuration.md"), encoding="utf-8"
+    ).read()
+    used = set()
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for name in files:
+            if not name.endswith(".py"):
+                continue
+            text = open(os.path.join(root, name), encoding="utf-8").read()
+            used.update(re.findall(r"environ\.get\(\s*[\"'](REPRO_\w+)", text))
+    for name in os.listdir(os.path.join(REPO, "benchmarks")):
+        if name.endswith(".py"):
+            text = open(
+                os.path.join(REPO, "benchmarks", name), encoding="utf-8"
+            ).read()
+            used.update(re.findall(r"environ\.get\(\s*[\"'](REPRO_\w+)", text))
+    missing = sorted(v for v in used if v not in documented)
+    assert not missing, f"env vars undocumented in docs/configuration.md: {missing}"

@@ -1,0 +1,487 @@
+"""Tests for the batched serving runtime (repro.serve).
+
+Covers: structural fingerprints, scheduling policies, the structural
+plan-cache layer (structure reused, matrices rebound), cache-hit
+accounting on identical-structure batches, per-job correctness against
+the flat simulator, seeded shot-sampling distributions against exact
+probabilities, expectation values against a dense-matrix reference, and
+the manifest / CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.generators import qaoa, qft
+from repro.partition import get_partitioner
+from repro.serve import (
+    BatchRunner,
+    SimJob,
+    circuit_fingerprint,
+    default_limit,
+    fifo_order,
+    grouped_order,
+    load_manifest,
+    order_jobs,
+    results_to_manifest,
+)
+from repro.sv import (
+    HierarchicalExecutor,
+    PlanCache,
+    StateVectorSimulator,
+    pauli_expectation,
+    sample_counts,
+    zero_state,
+)
+
+from conftest import full_unitary, random_circuit
+
+
+def sweep_circuits(n=8, jobs=4, rounds=1):
+    """Structurally identical QAOA circuits with per-job angles."""
+    return [
+        qaoa(
+            n,
+            p=rounds,
+            gammas=[0.2 + 0.05 * k + 0.1 * r for r in range(rounds)],
+            betas=[0.9 - 0.04 * k - 0.06 * r for r in range(rounds)],
+        )
+        for k in range(jobs)
+    ]
+
+
+def flat_state(circuit):
+    sim = StateVectorSimulator(circuit.num_qubits)
+    sim.run(circuit)
+    return sim.state
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_parameters_do_not_change_fingerprint(self):
+        a, b = sweep_circuits(jobs=2)
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_structure_changes_fingerprint(self):
+        base = QuantumCircuit(3).h(0).cx(0, 1)
+        other_gate = QuantumCircuit(3).h(0).cx(0, 2)      # different operand
+        other_name = QuantumCircuit(3).h(0).cz(0, 1)      # different gate
+        longer = QuantumCircuit(3).h(0).cx(0, 1).h(2)     # extra gate
+        wider = QuantumCircuit(4).h(0).cx(0, 1)           # extra qubit
+        fps = {
+            circuit_fingerprint(c)
+            for c in (base, other_gate, other_name, longer, wider)
+        }
+        assert len(fps) == 5
+
+    def test_gate_order_matters(self):
+        ab = QuantumCircuit(2).h(0).h(1)
+        ba = QuantumCircuit(2).h(1).h(0)
+        assert circuit_fingerprint(ab) != circuit_fingerprint(ba)
+
+    def test_deterministic_across_copies(self):
+        qc = random_circuit(5, 30, seed=3)
+        assert circuit_fingerprint(qc) == circuit_fingerprint(qc.copy())
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_fifo_is_identity(self):
+        assert fifo_order(["a", "b", "a", "c"]) == [0, 1, 2, 3]
+
+    def test_grouped_clusters_by_first_seen(self):
+        assert grouped_order(["a", "b", "a", "c", "b", "a"]) == [
+            0, 2, 5, 1, 4, 3,
+        ]
+
+    def test_grouped_is_a_permutation(self):
+        fps = [f"s{k % 3}" for k in range(10)]
+        assert sorted(grouped_order(fps)) == list(range(10))
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(KeyError):
+            order_jobs("shortest-job-first", ["a"])
+
+
+# ---------------------------------------------------------------------------
+# Structural plan-cache layer
+# ---------------------------------------------------------------------------
+
+
+class TestStructuralPlanCache:
+    def test_structure_reused_matrices_rebound(self):
+        a, b = sweep_circuits(n=6, jobs=2)
+        limit = default_limit(6)
+        partition = get_partitioner("dagP").partition(a, limit)
+        cache = PlanCache()
+        fp = circuit_fingerprint(a)
+        part = partition.parts[0]
+        plan_a = cache.get_or_bind(
+            a, part.gate_indices, part.qubits, structural_key=fp
+        )
+        plan_b = cache.get_or_bind(
+            b, part.gate_indices, part.qubits, structural_key=fp
+        )
+        # One structure, shared; distinct matrices (angles differ).
+        assert plan_a.structure is plan_b.structure
+        assert cache.structure_misses == 1 and cache.structure_hits == 1
+        assert plan_a.qubits == plan_b.qubits
+        assert any(
+            not np.array_equal(oa.matrix(), ob.matrix())
+            for oa, ob in zip(plan_a.ops, plan_b.ops)
+        )
+
+    def test_same_circuit_hits_bound_layer(self):
+        (a,) = sweep_circuits(n=6, jobs=1)
+        partition = get_partitioner("dagP").partition(a, default_limit(6))
+        cache = PlanCache()
+        fp = circuit_fingerprint(a)
+        part = partition.parts[0]
+        args = (a, part.gate_indices, part.qubits)
+        plan1 = cache.get_or_bind(*args, structural_key=fp)
+        plan2 = cache.get_or_bind(*args, structural_key=fp)
+        assert plan1 is plan2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_structural_key_execution_is_correct_per_job(self):
+        """The stale-matrix trap: same structure, different angles must
+        yield each job's own state, not the first job's."""
+        circuits = sweep_circuits(n=7, jobs=3)
+        partition = get_partitioner("dagP").partition(
+            circuits[0], default_limit(7)
+        )
+        executor = HierarchicalExecutor()
+        fp = circuit_fingerprint(circuits[0])
+        for qc in circuits:
+            state = zero_state(7)
+            executor.run(qc, partition, state, structural_key=fp)
+            np.testing.assert_allclose(
+                state, flat_state(qc), atol=1e-10, rtol=0
+            )
+
+    def test_gather_tables_shared_across_binds(self):
+        a, b = sweep_circuits(n=6, jobs=2)
+        partition = get_partitioner("dagP").partition(a, default_limit(6))
+        cache = PlanCache()
+        fp = circuit_fingerprint(a)
+        part = partition.parts[0]
+        plan_a = cache.get_or_bind(
+            a, part.gate_indices, part.qubits, structural_key=fp
+        )
+        plan_b = cache.get_or_bind(
+            b, part.gate_indices, part.qubits, structural_key=fp
+        )
+        assert plan_a.gather_table(6) is plan_b.gather_table(6)
+
+
+# ---------------------------------------------------------------------------
+# BatchRunner
+# ---------------------------------------------------------------------------
+
+
+class TestBatchRunner:
+    def test_thirty_two_identical_jobs_compile_one_plan(self):
+        """Acceptance satellite: a 32-job identical-structure batch
+        partitions once and compiles each part's structure exactly once."""
+        jobs = [
+            SimJob(f"j{k}", qc, want_state=True)
+            for k, qc in enumerate(sweep_circuits(n=8, jobs=32))
+        ]
+        runner = BatchRunner(schedule="grouped")
+        report = runner.run(jobs)
+        s = report.stats
+        parts = report.results[0].num_parts
+        assert s.num_jobs == 32 and s.unique_structures == 1
+        assert s.partitions_computed == 1 and s.partition_hits == 31
+        assert s.structures_compiled == parts
+        assert s.structure_hits == 31 * parts
+        assert s.plans_bound == 32 * parts
+
+    @pytest.mark.parametrize("schedule", ["fifo", "grouped"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_states_match_flat_simulator(self, schedule, workers):
+        circuits = sweep_circuits(n=7, jobs=3) + [qft(6), qft(6)]
+        jobs = [
+            SimJob(f"j{k}", qc, want_state=True)
+            for k, qc in enumerate(circuits)
+        ]
+        report = BatchRunner(schedule=schedule, workers=workers).run(jobs)
+        assert [r.job_id for r in report.results] == [j.job_id for j in jobs]
+        for job, res in zip(jobs, report.results):
+            np.testing.assert_allclose(
+                res.state, flat_state(job.circuit), atol=1e-10, rtol=0
+            )
+
+    def test_results_deterministic_across_schedules_and_workers(self):
+        circuits = sweep_circuits(n=6, jobs=4)
+        jobs = [
+            SimJob(f"j{k}", qc, shots=64, seed=5, observables=("ZZIIII",))
+            for k, qc in enumerate(circuits)
+        ]
+        reports = [
+            BatchRunner(schedule=schedule, workers=workers).run(jobs)
+            for schedule in ("fifo", "grouped")
+            for workers in (1, 2)
+        ]
+        ref = reports[0]
+        for rep in reports[1:]:
+            for a, b in zip(ref.results, rep.results):
+                assert a.counts == b.counts
+                assert a.expectations == b.expectations
+
+    def test_outputs_only_when_requested(self):
+        qc = qft(5)
+        jobs = [
+            SimJob("state", qc, want_state=True),
+            SimJob("shots", qc, shots=10),
+            SimJob("obs", qc, observables=("ZIIII",)),
+        ]
+        results = BatchRunner().run(jobs).results
+        assert results[0].state is not None and results[0].counts is None
+        assert results[1].counts is not None and results[1].state is None
+        assert results[2].expectations is not None and results[2].state is None
+
+    def test_mixed_structures_partition_per_structure(self):
+        jobs = [
+            SimJob("a0", qaoa(6, p=1)),
+            SimJob("b0", qft(6)),
+            SimJob("a1", qaoa(6, p=1, gammas=[1.0], betas=[0.1])),
+        ]
+        report = BatchRunner().run(jobs)
+        assert report.stats.partitions_computed == 2
+        assert report.stats.partition_hits == 1
+        assert report.results[2].partition_cached is True
+
+    def test_explicit_limit_respected(self):
+        jobs = [SimJob("j", qft(6), want_state=True)]
+        report = BatchRunner(limit=4, strategy="DFS").run(jobs)
+        np.testing.assert_allclose(
+            report.results[0].state, flat_state(qft(6)), atol=1e-10, rtol=0
+        )
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(KeyError):
+            BatchRunner(schedule="lifo")
+        with pytest.raises(ValueError):
+            BatchRunner(workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Sampling and expectation outputs
+# ---------------------------------------------------------------------------
+
+
+class TestSamplingOutputs:
+    def test_sampled_distribution_close_to_exact(self):
+        """Total-variation distance between the seeded empirical shot
+        distribution and |amplitude|^2 stays within the N^(1/2) envelope."""
+        qc = random_circuit(6, 40, seed=11)
+        state = flat_state(qc)
+        exact = np.abs(state) ** 2
+        shots = 20000
+        counts = sample_counts(state, shots, seed=123)
+        empirical = np.zeros_like(exact)
+        for idx, c in counts.items():
+            empirical[idx] = c / shots
+        tvd = 0.5 * float(np.sum(np.abs(empirical - exact)))
+        # E[TVD] <~ sqrt(K / (2 pi N)); allow 4x headroom for the seed.
+        bound = 4.0 * math.sqrt(exact.size / (2 * math.pi * shots))
+        assert tvd < bound
+
+    def test_sampling_is_seeded_and_deterministic(self):
+        state = flat_state(qft(5))
+        assert sample_counts(state, 500, seed=7) == sample_counts(
+            state, 500, seed=7
+        )
+        assert sample_counts(state, 500, seed=7) != sample_counts(
+            state, 500, seed=8
+        )
+
+    def test_batch_sampling_matches_direct_sampling(self):
+        qc = qaoa(6, p=1)
+        job = SimJob("s", qc, shots=256, seed=42)
+        report = BatchRunner().run([job])
+        assert report.results[0].counts == sample_counts(
+            flat_state(qc), 256, seed=42
+        )
+
+    def test_counts_sum_to_shots(self):
+        report = BatchRunner().run([SimJob("s", qft(5), shots=999)])
+        assert sum(report.results[0].counts.values()) == 999
+
+
+PAULI_1Q = {
+    "I": np.eye(2, dtype=np.complex128),
+    "X": np.array([[0, 1], [1, 0]], dtype=np.complex128),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=np.complex128),
+    "Z": np.array([[1, 0], [0, -1]], dtype=np.complex128),
+}
+
+
+def dense_pauli(term: str) -> np.ndarray:
+    """Full-space matrix of a Pauli string (qubit 0 = leftmost char).
+
+    Little-endian indices put qubit 0 on the *last* kron factor.
+    """
+    out = np.eye(1, dtype=np.complex128)
+    for c in term:  # qubit 0 first -> innermost factor last via prepend
+        out = np.kron(PAULI_1Q[c], out)
+    return out
+
+
+class TestExpectationOutputs:
+    @pytest.mark.parametrize("term", ["ZZIII", "XIYIZ", "XXXXX", "IIIII"])
+    def test_matches_dense_matrix_reference(self, term):
+        qc = random_circuit(5, 30, seed=9)
+        state = flat_state(qc)
+        expected = float(
+            np.real(np.conj(state) @ (dense_pauli(term) @ state))
+        )
+        assert pauli_expectation(state, term, 5) == pytest.approx(
+            expected, abs=1e-10
+        )
+
+    def test_batch_expectations_match_reference(self):
+        qc = random_circuit(4, 25, seed=17)
+        terms = ("ZZII", "XYIZ", "IIII")
+        report = BatchRunner().run([SimJob("e", qc, observables=terms)])
+        state = flat_state(qc)
+        for value, term in zip(report.results[0].expectations, terms):
+            expected = float(
+                np.real(np.conj(state) @ (dense_pauli(term) @ state))
+            )
+            assert value == pytest.approx(expected, abs=1e-10)
+
+    def test_energy_of_computational_basis_state(self):
+        # <00|ZI|00> = <00|IZ|00> = 1.
+        report = BatchRunner().run(
+            [SimJob("z", QuantumCircuit(2).id(0), observables=("ZI", "IZ"))]
+        )
+        assert report.results[0].expectations == pytest.approx([1.0, 1.0])
+
+
+# ---------------------------------------------------------------------------
+# Manifests and the CLI
+# ---------------------------------------------------------------------------
+
+
+MANIFEST = {
+    "schedule": "grouped",
+    "jobs": [
+        {
+            "id": "gen",
+            "circuit": {
+                "generator": "qaoa",
+                "qubits": 6,
+                "args": {"p": 1, "gammas": [0.4], "betas": [0.6]},
+            },
+            "shots": 32,
+            "seed": 3,
+        },
+        {
+            "id": "inline",
+            "circuit": {
+                "qasm": "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+            },
+            "observables": ["ZZ", {"0": "X", "1": "X"}],
+        },
+        {"id": "defaulted", "circuit": {"generator": "qft", "qubits": 4}},
+    ],
+}
+
+
+class TestManifests:
+    def test_load_manifest_from_dict(self):
+        jobs, options = load_manifest(MANIFEST)
+        assert options == {"schedule": "grouped"}
+        assert [j.job_id for j in jobs] == ["gen", "inline", "defaulted"]
+        assert jobs[0].shots == 32 and jobs[0].seed == 3
+        assert jobs[1].observables == ("ZZ", {0: "X", 1: "X"})
+        # No outputs named -> defaults to the final state.
+        assert jobs[2].want_state is True
+
+    def test_load_manifest_qasm_file_relative_to_manifest(self, tmp_path):
+        (tmp_path / "bell.qasm").write_text(
+            "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        )
+        manifest = {
+            "jobs": [
+                {"id": "f", "circuit": {"qasm_file": "bell.qasm"}},
+            ]
+        }
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(manifest))
+        jobs, _ = load_manifest(str(path))
+        assert len(jobs[0].circuit) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"jobs": [{"id": "x", "circuit": {}}]},
+            {"jobs": [{"id": "x", "circuit": {"generator": "qft"}}]},
+            {"jobs": [{"id": "x", "circuit": {"qasm": "x", "generator": "qft", "qubits": 4}}]},
+            {"not_jobs": []},
+        ],
+    )
+    def test_malformed_manifests_rejected(self, bad):
+        with pytest.raises(ValueError):
+            load_manifest(bad)
+
+    def test_results_roundtrip_json(self):
+        jobs, options = load_manifest(MANIFEST)
+        report = BatchRunner(**options).run(jobs)
+        manifest = results_to_manifest(
+            report.results, stats=vars(report.stats)
+        )
+        text = json.dumps(manifest)  # must be JSON-serialisable
+        back = json.loads(text)
+        assert [j["id"] for j in back["jobs"]] == ["gen", "inline", "defaulted"]
+        assert sum(back["jobs"][0]["counts"].values()) == 32
+        assert back["jobs"][1]["expectations"] == pytest.approx([1.0, 1.0])
+        state = np.array(
+            [complex(re, im) for re, im in back["jobs"][2]["state"]]
+        )
+        np.testing.assert_allclose(
+            state, flat_state(qft(4)), atol=1e-10, rtol=0
+        )
+        assert back["stats"]["num_jobs"] == 3
+
+
+class TestBatchCLI:
+    def test_batch_subcommand_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "jobs.json"
+        manifest_path.write_text(json.dumps(MANIFEST))
+        out_path = tmp_path / "results.json"
+        rc = main(["batch", str(manifest_path), "-o", str(out_path)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "3 jobs" in printed and "partitions" in printed
+        results = json.loads(out_path.read_text())
+        assert len(results["jobs"]) == 3
+
+    def test_batch_cli_flags_override_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "jobs.json"
+        manifest_path.write_text(json.dumps(MANIFEST))
+        rc = main(
+            ["batch", str(manifest_path), "--schedule", "fifo",
+             "--strategy", "DFS", "--workers", "2"]
+        )
+        assert rc == 0
+        assert "[fifo]" in capsys.readouterr().out

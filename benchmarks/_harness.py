@@ -1,0 +1,32 @@
+"""Shared plumbing for the pytest benchmark harness.
+
+Kept outside ``conftest.py`` so the ``bench_*`` scripts can import it
+under a module name that never collides with ``tests/conftest.py``
+(``repro.bench.load_benchmarks`` imports every script in-process, also
+under pytest).  The registry/timing layer itself lives in
+:mod:`repro.bench`; this module only carries the pytest-benchmark glue.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import RESULTS_DIR
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment end-to-end exactly once.
+
+    Experiment regenerations are end-to-end timings, not
+    micro-benchmarks: ``pedantic`` with a single round.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def save_result_text(name: str, text: str) -> str:
+    """Persist a regenerated table under results/ and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path

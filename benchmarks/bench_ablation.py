@@ -11,7 +11,7 @@ from repro.circuits.generators import build
 from repro.dist import IQSEngine
 from repro.partition import DagPPartitioner, DFSPartitioner
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_dagp_merge_phase_ablation(benchmark, save_result):
@@ -122,3 +122,48 @@ def test_iqs_fastpath_ablation(benchmark, save_result):
     )
     bytes_ = [b for _, _, b in rows]
     assert bytes_[0] >= bytes_[1] >= bytes_[2]
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "ablation",
+    tags=("paper", "ablation"),
+    params={"qubits": 16, "iqs_qubits": 16, "iqs_ranks": 8},
+    smoke={"qubits": 12, "iqs_qubits": 12, "iqs_ranks": 4},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """dagP merge-phase and IQS fast-path ablations (part counts, bytes)."""
+    metrics = {}
+    scale_q = params["qubits"]
+    for name, n, limit in [
+        ("qpe", scale_q - 3, scale_q - 8),
+        ("adder", scale_q, scale_q - 8),
+        ("qft", scale_q - 2, scale_q - 9),
+    ]:
+        qc = build(name, n)
+        with_merge = DagPPartitioner(do_merge=True, use_ggg=False).partition(
+            qc, limit
+        )
+        without = DagPPartitioner(do_merge=False, use_ggg=False).partition(
+            qc, limit
+        )
+        metrics[f"{name}_parts_no_merge"] = without.num_parts
+        metrics[f"{name}_parts_merge"] = with_merge.num_parts
+    qc = build("qft", params["iqs_qubits"])
+    for control, diagonal in ((False, False), (True, False), (True, True)):
+        eng = IQSEngine(
+            params["iqs_ranks"],
+            dry_run=True,
+            control_fastpath=control,
+            diagonal_fastpath=diagonal,
+        )
+        _, rep = eng.run(qc)
+        key = f"iqs_bytes_ctrl{int(control)}_diag{int(diagonal)}"
+        metrics[key] = rep.comm.total_bytes
+    return bench.payload(metrics)

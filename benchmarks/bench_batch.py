@@ -16,18 +16,19 @@ depend on the angles.
 
 The speedup floor is environment-overridable
 (``REPRO_BENCH_BATCH_MIN_SPEEDUP``, default ``2.0``) so CI smoke runs on
-loaded runners can't flake.  Also runnable without pytest::
+loaded runners can't flake.  Also runnable without pytest (shared
+``repro.bench`` flags)::
 
-    python benchmarks/bench_batch.py --qubits 12 --jobs 8
+    python benchmarks/bench_batch.py --set qubits=12 --set jobs=8
 """
 
 from __future__ import annotations
 
-import argparse
 import os
-import time
 
 import numpy as np
+
+from repro import bench
 
 from repro.circuits.generators import qaoa
 from repro.partition import get_partitioner
@@ -59,27 +60,29 @@ def make_sweep_jobs(num_jobs=NUM_JOBS, qubits=QUBITS, rounds=ROUNDS):
 def run_cold_sequential(jobs):
     """The pre-serve baseline: per job, partition from scratch and
     execute with a fresh (empty) plan cache."""
-    states = []
-    t0 = time.perf_counter()
-    for job in jobs:
-        n = job.circuit.num_qubits
-        partition = get_partitioner("dagP").partition(
-            job.circuit, default_limit(n)
-        )
-        executor = HierarchicalExecutor(fuse=True)
-        state = zero_state(n)
-        executor.run(job.circuit, partition, state)
-        states.append(state)
-    return states, time.perf_counter() - t0
+
+    def all_jobs():
+        states = []
+        for job in jobs:
+            n = job.circuit.num_qubits
+            partition = get_partitioner("dagP").partition(
+                job.circuit, default_limit(n)
+            )
+            executor = HierarchicalExecutor(fuse=True)
+            state = zero_state(n)
+            executor.run(job.circuit, partition, state)
+            states.append(state)
+        return states
+
+    stats, states = bench.measure(all_jobs, repeats=1)
+    return states, stats.min
 
 
 def run_batched(jobs):
     """The serving path: one runner, shared caches, grouped schedule."""
     runner = BatchRunner(schedule="grouped")
-    t0 = time.perf_counter()
-    report = runner.run(jobs)
-    elapsed = time.perf_counter() - t0
-    return report, elapsed
+    stats, report = bench.measure(lambda: runner.run(jobs), repeats=1)
+    return report, stats.min
 
 
 def run_comparison(num_jobs=NUM_JOBS, qubits=QUBITS, rounds=ROUNDS):
@@ -151,28 +154,51 @@ def test_batch_single_structure_compiles_once(save_result):
     save_result("bench_batch_cache_accounting", s.summary())
 
 
-# -- standalone smoke entry point -------------------------------------------
+# -- repro.bench registration and standalone entry point ---------------------
+
+
+@bench.register(
+    "batch",
+    tags=("smoke", "accept"),
+    params={"jobs": NUM_JOBS, "qubits": QUBITS, "rounds": ROUNDS},
+    smoke={"jobs": 8, "qubits": 10, "rounds": 2},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Batched serving vs cold sequential execution on a QAOA sweep.
+
+    Cache accounting and state agreement are the gated metrics; the
+    throughput ratio is host-dependent and stays in ``info`` (the pytest
+    acceptance test carries the ``REPRO_BENCH_BATCH_MIN_SPEEDUP`` floor).
+    The comparison is cold by construction, so the registry entry runs
+    with no warm-up.
+    """
+    res = run_comparison(params["jobs"], params["qubits"], params["rounds"])
+    stats = res["stats"]
+    states_match = res["max_err"] < 1e-10
+    return bench.payload(
+        metrics={
+            "jobs": res["num_jobs"],
+            "gates_per_job": res["gates"],
+            "partitions_computed": stats.partitions_computed,
+            "partition_hits": stats.partition_hits,
+            "structures_compiled": stats.structures_compiled,
+            "plans_bound": stats.plans_bound,
+            "states_match": states_match,
+        },
+        info={
+            "cold_s": res["cold_s"],
+            "batch_s": res["batch_s"],
+            "speedup": res["speedup"],
+            "max_err": res["max_err"],
+        },
+        ok=states_match,
+    )
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--jobs", type=int, default=NUM_JOBS)
-    parser.add_argument("--qubits", type=int, default=QUBITS)
-    parser.add_argument("--rounds", type=int, default=ROUNDS)
-    parser.add_argument("--min-speedup", type=float, default=None,
-                        help="acceptance floor (default: "
-                             "REPRO_BENCH_BATCH_MIN_SPEEDUP or 2.0)")
-    args = parser.parse_args(argv)
-    floor = args.min_speedup if args.min_speedup is not None else min_speedup()
-    res = run_comparison(args.jobs, args.qubits, args.rounds)
-    print(render(res))
-    if res["max_err"] > 1e-10:
-        print("VERIFICATION FAILED")
-        return 1
-    if res["speedup"] < floor:
-        print(f"SPEEDUP BELOW FLOOR ({res['speedup']:.2f}x < {floor}x)")
-        return 1
-    return 0
+    return bench.script_main("batch", argv)
 
 
 if __name__ == "__main__":

@@ -8,7 +8,7 @@ multi-level factor over IQS exceeds the single-level one (paper: up to
 
 from repro.experiments import fig10
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_fig10(benchmark, scale, save_result):
@@ -25,3 +25,31 @@ def test_fig10(benchmark, scale, save_result):
         f"best multi-level factor over IQS {best_factor:.2f} (paper 5.67)"
     )
     assert best_factor > 1.0
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+from repro.experiments import SCALES
+
+
+@bench.register(
+    "fig10",
+    tags=("paper",),
+    params={"scale": "small"},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Fig. 10 single- vs multi-level HiSVSIM at the largest rank counts."""
+    res = fig10.run(scale=SCALES[params["scale"]])
+    return bench.payload(
+        metrics={
+            "rows": len(res.rows),
+            "multilevel_wins": sum(1 for r in res.rows if r.reduction > 0),
+            "mean_reduction": res.mean_reduction(),
+            "best_factor_over_iqs": max(
+                r.factor_over_iqs_multi for r in res.rows
+            ),
+        },
+    )

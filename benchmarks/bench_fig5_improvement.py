@@ -9,7 +9,7 @@ the >=35-qubit group shows larger factors than the 30-qubit group
 from repro.analysis.tables import geomean
 from repro.experiments import fig5
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_fig5(benchmark, scale, save_result):
@@ -41,4 +41,31 @@ def test_fig5(benchmark, scale, save_result):
         f"dagP geomean={res.geomean('dagP'):.2f} (paper 1.7), "
         f"at max ranks={res.geomean_at_max_ranks('dagP'):.2f} (paper 2.1), "
         f"large-group geomean={geomean(large):.2f} (paper ~3.0)"
+    )
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+from repro.experiments import SCALES
+
+
+@bench.register(
+    "fig5",
+    tags=("paper",),
+    params={"scale": "small"},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Fig. 5 improvement factors over IQS (modeled traffic)."""
+    res = fig5.run(scale=SCALES[params["scale"]])
+    factors = res.factors("dagP")
+    return bench.payload(
+        metrics={
+            "instances": len(factors),
+            "dagp_wins": sum(1 for f in factors if f > 1.0),
+            "dagp_geomean": res.geomean("dagP"),
+            "dagp_geomean_at_max_ranks": res.geomean_at_max_ranks("dagP"),
+        },
     )

@@ -7,7 +7,7 @@ exceeds IQS's.
 
 from repro.experiments import fig6
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_fig6(benchmark, scale, save_result):
@@ -32,3 +32,31 @@ def test_fig6(benchmark, scale, save_result):
                 if (x.circuit, x.ranks, x.algorithm) == (c, r, "Intel")
             )
             assert dag.comp_seconds <= iqs.comp_seconds * 1.01
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+from repro.experiments import SCALES
+
+
+@bench.register(
+    "fig6",
+    tags=("paper",),
+    params={"scale": "small"},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Fig. 6 strong-scaling runtime decomposition (modeled)."""
+    res = fig6.run(scale=SCALES[params["scale"]])
+    circuits = res.sweep.circuits()
+    return bench.payload(
+        metrics={
+            "circuits": len(circuits),
+            "rows": len(res.rows),
+            "dagp_improving": sum(
+                1 for c in circuits if res.speedup(c, "dagP") > 1.0
+            ),
+        },
+    )

@@ -8,7 +8,7 @@ is 1.2x off the best).
 
 from repro.experiments import fig9
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_fig9(benchmark, scale, save_result):
@@ -30,3 +30,27 @@ def test_fig9(benchmark, scale, save_result):
         f"best shares: runtime dagP={runtime_best['dagP']:.0%} (paper 65%), "
         f"comm dagP={comm_best['dagP']:.0%} (paper 75%)"
     )
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+from repro.experiments import SCALES
+
+
+@bench.register(
+    "fig9",
+    tags=("paper",),
+    params={"scale": "small"},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Fig. 9 Dolan-Moré performance profiles: best-shares at theta=1."""
+    res = fig9.run(scale=SCALES[params["scale"]])
+    metrics = {}
+    for algorithm in ("Nat", "DFS", "dagP", "Intel"):
+        metrics[f"{algorithm}_runtime_best"] = res.best_share(algorithm)
+    for algorithm in ("Nat", "DFS", "dagP"):
+        metrics[f"{algorithm}_comm_best"] = res.best_share(algorithm, "comm")
+    return bench.payload(metrics)

@@ -13,18 +13,18 @@ The sweep-reduction floor is environment-overridable
 (``REPRO_BENCH_FUSION_MIN_SWEEP_REDUCTION``, default ``2.0``) so CI
 smoke runs on loaded runners can't flake on the acceptance bar.
 
-Also runnable without pytest for CI smoke::
+Also runnable without pytest for CI smoke (shared ``repro.bench`` flags)::
 
-    python benchmarks/bench_fusion.py --qubits 12 --max-fused-qubits 4
+    python benchmarks/bench_fusion.py --set qubits=12 --set max_fused=4
 """
 
 from __future__ import annotations
 
-import argparse
 import os
-import time
 
 import numpy as np
+
+from repro import bench
 
 from repro.circuits import generators
 from repro.partition import get_partitioner
@@ -55,7 +55,7 @@ def _build(num_qubits=QFT_QUBITS, limit=None, name="qft"):
 
 
 def run_comparison(num_qubits=QFT_QUBITS, max_fused=MAX_FUSED, name="qft",
-                   verify=False):
+                   verify=False, warm_repeats=2):
     """Execute fused and unfused, return a result dict."""
     qc, p = _build(num_qubits, name=name)
     rows = []
@@ -64,13 +64,15 @@ def run_comparison(num_qubits=QFT_QUBITS, max_fused=MAX_FUSED, name="qft",
         trace = ExecutionTrace()
         ex = HierarchicalExecutor(fuse=fuse, max_fused_qubits=max_fused)
         state = zero_state(qc.num_qubits)
-        t0 = time.perf_counter()
-        ex.run(qc, p, state, trace=trace)
-        cold = time.perf_counter() - t0
-        # Second run reuses the compiled plans (cache warm).
-        t0 = time.perf_counter()
-        ex.run(qc, p, zero_state(qc.num_qubits), trace=None)
-        warm = time.perf_counter() - t0
+        # Cold = first run, compilation included; warm repeats reuse the
+        # compiled plans and are quoted as their median.
+        cold_stats, _ = bench.measure(
+            lambda: ex.run(qc, p, state, trace=trace), repeats=1
+        )
+        warm_stats, _ = bench.measure(
+            lambda: ex.run(qc, p, zero_state(qc.num_qubits)),
+            repeats=warm_repeats,
+        )
         rows.append(
             {
                 "fuse": fuse,
@@ -79,8 +81,9 @@ def run_comparison(num_qubits=QFT_QUBITS, max_fused=MAX_FUSED, name="qft",
                 "per_part": list(
                     zip(trace.part_gates, trace.part_ops)
                 ),
-                "cold_s": cold,
-                "warm_s": warm,
+                "cold_s": cold_stats.min,
+                "warm_s": warm_stats.median,
+                "warm_min_s": warm_stats.min,
             }
         )
         states[fuse] = state
@@ -167,25 +170,56 @@ def test_fusion_comparison_table(save_result):
     save_result("bench_fusion_comparison", render(res))
 
 
-# -- standalone smoke entry point -------------------------------------------
+# -- repro.bench registration and standalone entry point ---------------------
+
+
+@bench.register(
+    "fusion",
+    tags=("smoke", "accept"),
+    params={
+        "qubits": QFT_QUBITS,
+        "max_fused": MAX_FUSED,
+        "circuit": "qft",
+        "verify": True,
+        "warm_repeats": 2,
+    },
+    smoke={"qubits": 12, "max_fused": 4},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Fused vs unfused hierarchical execution: sweeps saved per part."""
+    res = run_comparison(
+        params["qubits"],
+        params["max_fused"],
+        params["circuit"],
+        verify=params["verify"],
+        warm_repeats=params["warm_repeats"],
+    )
+    unfused, fused = res["unfused"], res["fused"]
+    states_match = res["max_err"] is None or res["max_err"] < 1e-10
+    return bench.payload(
+        metrics={
+            "parts": res["parts"],
+            "gates": unfused["gates"],
+            "unfused_sweeps": unfused["sweeps"],
+            "fused_sweeps": fused["sweeps"],
+            "sweep_reduction": unfused["sweeps"] / max(fused["sweeps"], 1),
+            "states_match": states_match,
+        },
+        info={
+            "unfused_cold_s": unfused["cold_s"],
+            "unfused_warm_s": unfused["warm_s"],
+            "fused_cold_s": fused["cold_s"],
+            "fused_warm_s": fused["warm_s"],
+            "max_err": res["max_err"],
+        },
+        ok=states_match,
+    )
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--qubits", type=int, default=QFT_QUBITS)
-    parser.add_argument("--max-fused-qubits", type=int, default=MAX_FUSED)
-    parser.add_argument("--circuit", default="qft")
-    parser.add_argument("--no-verify", dest="verify", action="store_false",
-                        default=True)
-    args = parser.parse_args(argv)
-    res = run_comparison(
-        args.qubits, args.max_fused_qubits, args.circuit, verify=args.verify
-    )
-    print(render(res))
-    if res["max_err"] is not None and res["max_err"] > 1e-10:
-        print("VERIFICATION FAILED")
-        return 1
-    return 0
+    return bench.script_main("fusion", argv)
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ from repro.circuits.generators import build
 from repro.experiments import ilp_quality
 from repro.partition import DagPPartitioner, ILPPartitioner
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_ilp_quality(benchmark, scale, save_result):
@@ -42,3 +42,30 @@ def test_ilp_much_slower_than_dagp(benchmark, save_result):
         f"({t_ilp / max(t_dagp, 1e-9):.0f}x)\n",
     )
     assert t_ilp > 10 * t_dagp
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "ilp",
+    tags=("paper",),
+    params={"base_qubits": 8, "time_limit": 20.0},
+    smoke={"base_qubits": 6, "time_limit": 5.0},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """dagP heuristic quality vs the ILP optimum at small widths."""
+    res = ilp_quality.run(
+        base_qubits=params["base_qubits"], time_limit=params["time_limit"]
+    )
+    return bench.payload(
+        metrics={
+            "instances": res.num_instances,
+            "optimal": res.num_optimal,
+            "max_gap": res.max_gap,
+        },
+    )

@@ -74,3 +74,48 @@ def test_gather_scatter_roundtrip(benchmark, state):
         work[table] = inner
 
     benchmark(roundtrip)
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "kernels",
+    tags=("smoke", "micro"),
+    params={"qubits": 18},
+    smoke={"qubits": 14},
+    repeats=3,
+    warmup=1,
+)
+def run_bench(params):
+    """Kernel sweep micro-benchmark: the six reference gate applications
+    plus gather-table construction on one state."""
+    n = params["qubits"]
+    work = random_state(n, seed=0).copy()
+    gates = [
+        make_gate("h", [0]),
+        make_gate("h", [n - 1]),
+        make_gate("cx", [2, n - 2]),
+        make_gate("ccx", [0, n // 2, n - 1]),
+        make_gate("rz", [n // 2], [0.3]),
+        make_gate("rx", [n // 2], [0.3]),
+    ]
+    for gate in gates:
+        apply_gate(work, gate, n)
+    targets = sorted({3, 7, n // 2, n - 1})
+    table = gather_index_table(n, targets)
+    norm = float(np.vdot(work, work).real)
+    norm_preserved = abs(norm - 1.0) < 1e-9
+    return bench.payload(
+        metrics={
+            "qubits": n,
+            "gates_applied": len(gates),
+            "gather_rows": int(table.shape[0]),
+            "gather_cols": int(table.shape[1]),
+            "norm_preserved": norm_preserved,
+        },
+        info={"norm": norm},
+        ok=norm_preserved,
+    )

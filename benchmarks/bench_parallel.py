@@ -22,18 +22,18 @@ flake:
 * ``REPRO_BENCH_PARALLEL_QUBITS`` (default ``22``)
 * ``REPRO_BENCH_PARALLEL_THREADS`` (default ``4``)
 
-Also runnable without pytest for CI smoke::
+Also runnable without pytest for CI smoke (shared ``repro.bench`` flags)::
 
-    python benchmarks/bench_parallel.py --qubits 14 --min-speedup 0
+    python benchmarks/bench_parallel.py --set qubits=14 --set threads=2
 """
 
 from __future__ import annotations
 
-import argparse
 import os
-import time
 
 import numpy as np
+
+from repro import bench
 
 from repro.circuits import generators
 from repro.partition import get_partitioner
@@ -75,15 +75,15 @@ def measure_circuit(name: str, qubits: int, threads: int, repeats: int = 2):
     p = get_partitioner("dagP").partition(qc, max(3, qubits - 3))
 
     def best_of(executor) -> tuple:
-        executor.run(qc, p, zero_state(qubits))  # compile + warm
-        best = float("inf")
-        state = None
-        for _ in range(repeats):
+        # One warm-up run compiles the plans; the timed repeats then
+        # measure steady state (shared repro.bench loop, min quoted).
+        def one():
             state = zero_state(qubits)
-            t0 = time.perf_counter()
             executor.run(qc, p, state)
-            best = min(best, time.perf_counter() - t0)
-        return best, state
+            return state
+
+        stats, state = bench.measure(one, repeats=repeats, warmup=1)
+        return stats.min, state
 
     serial_s, serial_state = best_of(
         HierarchicalExecutor(backend=SerialBackend())
@@ -159,36 +159,49 @@ def test_parallel_comparison_table(save_result):
     save_result("bench_parallel_comparison", render(results))
 
 
-# -- standalone smoke entry point -------------------------------------------
+# -- repro.bench registration and standalone entry point ---------------------
+
+
+@bench.register(
+    "parallel",
+    tags=("smoke", "accept"),
+    params={
+        "qubits": DEFAULT_QUBITS,
+        "threads": DEFAULT_THREADS,
+        "circuits": list(CIRCUITS),
+        "best_of": 2,
+    },
+    smoke={"qubits": 14, "threads": 2, "circuits": ["qft"], "best_of": 1},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Serial vs threaded backends: bitwise agreement plus wall time.
+
+    Bitwise identity and part counts are the gated metrics; speedups
+    are host-dependent observations and stay in ``info`` (the pytest
+    acceptance test carries the ``REPRO_BENCH_PARALLEL_MIN_SPEEDUP``
+    floor).
+    """
+    results = run_comparison(
+        params["circuits"], params["qubits"], params["threads"],
+        params["best_of"],
+    )
+    metrics = {"threads": params["threads"]}
+    info = {}
+    for requested, r in zip(params["circuits"], results):
+        metrics[f"{requested}_parts"] = r["parts"]
+        metrics[f"{requested}_bit_identical"] = r["bit_identical"]
+        info[f"{requested}_serial_s"] = r["serial_s"]
+        info[f"{requested}_threaded_s"] = r["threaded_s"]
+        info[f"{requested}_speedup"] = r["speedup"]
+    return bench.payload(
+        metrics, info, ok=all(r["bit_identical"] for r in results)
+    )
 
 
 def main(argv=None) -> int:
-    qubits, threads, min_speedup = acceptance_settings()
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--qubits", type=int, default=qubits)
-    parser.add_argument("--threads", type=int, default=threads)
-    parser.add_argument("--min-speedup", type=float, default=min_speedup)
-    parser.add_argument("--circuits", nargs="+", default=list(CIRCUITS))
-    parser.add_argument("--repeats", type=int, default=2)
-    args = parser.parse_args(argv)
-
-    results = run_comparison(
-        args.circuits, args.qubits, args.threads, args.repeats
-    )
-    print(render(results))
-    failed = False
-    for r in results:
-        if not r["bit_identical"]:
-            print(f"{r['circuit']}: THREADED STATE DIFFERS FROM SERIAL")
-            failed = True
-    qft = next((r for r in results if r["circuit"].startswith("qft")), None)
-    if qft is not None and qft["speedup"] < args.min_speedup:
-        print(
-            f"qft speedup {qft['speedup']:.2f}x below floor "
-            f"{args.min_speedup}x"
-        )
-        failed = True
-    return 1 if failed else 0
+    return bench.script_main("parallel", argv)
 
 
 if __name__ == "__main__":

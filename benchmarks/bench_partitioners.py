@@ -27,3 +27,29 @@ def test_partitioner_speed(benchmark, strategy, name, n, limit):
     assert result.num_parts >= 1
     # "Negligible": well under a second even for the widest inputs.
     assert benchmark.stats["mean"] < 2.0
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "partitioners",
+    tags=("smoke", "paper"),
+    params={"qubits": 16, "limit": 12, "circuits": ["bv", "qaoa", "qft"]},
+    smoke={"qubits": 12, "limit": 8},
+    repeats=2,
+    warmup=1,
+)
+def run_bench(params):
+    """Part counts per strategy — the partitioner-quality head-to-head."""
+    metrics = {}
+    for name in params["circuits"]:
+        circuit = build(name, params["qubits"])
+        for strategy in ("Nat", "DFS", "dagP"):
+            result = get_partitioner(strategy).partition(
+                circuit, params["limit"]
+            )
+            metrics[f"{name}_{strategy}_parts"] = result.num_parts
+    return bench.payload(metrics)

@@ -8,7 +8,7 @@ in the paper's 10-400 ms band.
 
 from repro.experiments import table3
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_table3(benchmark, scale, save_result):
@@ -24,3 +24,26 @@ def test_table3(benchmark, scale, save_result):
     # Total GPU time roughly strategy-independent (paper: 329-366 ms).
     times = [e.gpu_seconds for e in est.values()]
     assert max(times) < 3 * min(times)
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "table3",
+    tags=("paper",),
+    params={"qubits": 28, "gpus": 4},
+    smoke={"qubits": 16},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Table III QAOA partitioning breakdown with modeled GPU part times."""
+    res = table3.run(num_qubits=params["qubits"], num_gpus=params["gpus"])
+    metrics = {"total_gates": res.total_gates}
+    for strategy, est in res.estimates.items():
+        metrics[f"{strategy}_parts"] = est.num_parts
+        metrics[f"{strategy}_gpu_s"] = est.gpu_seconds
+    return bench.payload(metrics)

@@ -7,7 +7,7 @@ Shape asserted: communication ordered dagP <= DFS <= Nat (paper
 
 from repro.experiments import table4
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_table4(benchmark, scale, save_result):
@@ -25,3 +25,27 @@ def test_table4(benchmark, scale, save_result):
         + ", ".join(f"{s}={est[s].total_seconds:.2f}" for s in est)
         + "  (paper: dagP 0.83 < HyQuas 1.47)"
     )
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "table4",
+    tags=("paper",),
+    params={"qubits": 28, "gpus": 4},
+    smoke={"qubits": 16},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Table IV hybrid HiSVSIM+HyQuas end-to-end estimate (modeled)."""
+    res = table4.run(num_qubits=params["qubits"], num_gpus=params["gpus"])
+    metrics = {}
+    for strategy, est in res.estimates.items():
+        metrics[f"{strategy}_total_s"] = est.total_seconds
+        if strategy != "HyQuas":
+            metrics[f"{strategy}_comm_s"] = est.comm_seconds
+    return bench.payload(metrics)

@@ -7,7 +7,7 @@ threads and >= 5x at 16 threads.
 
 from repro.experiments import thread_scaling
 
-from conftest import run_once
+from _harness import run_once
 
 
 def test_thread_scaling(benchmark, scale, save_result):
@@ -22,3 +22,34 @@ def test_thread_scaling(benchmark, scale, save_result):
     assert speeds == sorted(speeds)
     assert sp[2] >= 1.6
     assert sp[16] >= 5.0
+
+
+# -- repro.bench registration ------------------------------------------------
+
+from repro import bench
+
+
+@bench.register(
+    "threads",
+    tags=("paper",),
+    params={"qubits": 24, "limit": 16},
+    smoke={"qubits": 18, "limit": 12},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Thread-scaling model curve (measured column disabled: the modeled
+    speedups are the deterministic, gateable quantities)."""
+    res = thread_scaling.run(
+        num_qubits=params["qubits"], limit=params["limit"], measure=False
+    )
+    sp = {r.threads: r.speedup for r in res.rows}
+    speeds = [r.speedup for r in res.rows]
+    return bench.payload(
+        metrics={
+            "thread_counts": len(res.rows),
+            "speedup_2": sp[2],
+            "speedup_16": sp[16],
+            "monotone": speeds == sorted(speeds),
+        },
+    )

@@ -1,7 +1,9 @@
-"""Benchmark harness infrastructure.
+"""Benchmark harness infrastructure (pytest side).
 
 Every ``bench_*`` module regenerates one table or figure of the paper
-(see DESIGN.md's experiment index).  Harness conventions:
+(see docs/benchmarks.md for the full map) and registers a
+machine-readable entry point with :mod:`repro.bench`.  Harness
+conventions:
 
 * the experiment computation runs once per benchmark (``pedantic`` with a
   single round — these are end-to-end experiment timings, not
@@ -10,16 +12,21 @@ Every ``bench_*`` module regenerates one table or figure of the paper
   ``save_result`` fixture, so ``pytest benchmarks/ --benchmark-only``
   leaves the regenerated tables on disk;
 * scale comes from ``REPRO_SCALE`` (default ``small``; set ``paper`` for
-  the full-width reproduction recorded in EXPERIMENTS.md).
+  the full-width reproduction recorded in EXPERIMENTS.md);
+* standardized machine-readable runs go through ``repro bench run`` (the
+  registry runner), not through pytest.
+
+Shared helpers live in ``_harness.py`` — importable by the scripts both
+under pytest and under ``repro.bench.load_benchmarks`` (which would
+collide with ``tests/conftest.py`` if they lived here).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.experiments.common import RESULTS_DIR, current_scale
+from _harness import run_once, save_result_text  # noqa: F401  (re-export)
+from repro.experiments.common import current_scale
 
 
 @pytest.fixture(scope="session")
@@ -32,15 +39,7 @@ def save_result():
     """Persist a regenerated table under results/ and echo it."""
 
     def _save(name: str, text: str) -> None:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        path = os.path.join(RESULTS_DIR, f"{name}.txt")
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        path = save_result_text(name, text)
         print(f"\n{text}\n[saved to {path}]")
 
     return _save
-
-
-def run_once(benchmark, fn):
-    """Benchmark an experiment end-to-end exactly once."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -22,6 +22,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     install_requires=["numpy>=1.22"],
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
     extras_require={
         "test": ["pytest>=7", "hypothesis>=6"],
         "bench": ["pytest>=7", "pytest-benchmark>=4"],

@@ -29,6 +29,7 @@ __version__ = "1.1.0"
 
 _SUBPACKAGES = (
     "analysis",
+    "bench",
     "cachesim",
     "circuits",
     "dag",

@@ -1,0 +1,91 @@
+"""Unified benchmark framework (registry, runner, schema, perf gate).
+
+Every script under ``benchmarks/`` registers one entry point with
+:func:`register`; the runner executes selections by name or tag through
+one shared warm-up/repeat timing loop and serialises
+:class:`BenchSuite` JSON; :func:`compare_suites` is the CI
+perf-regression gate (model metrics exact, timing thresholded).
+
+Typical flow::
+
+    repro bench list
+    repro bench run --tag smoke --json BENCH_smoke.json
+    repro bench compare BENCH_smoke.json benchmarks/baselines/smoke.json
+
+From a benchmark script::
+
+    from repro import bench
+
+    @bench.register("fusion", tags=("smoke",), params={"qubits": 20},
+                    smoke={"qubits": 12})
+    def run_bench(params):
+        ...
+        return bench.payload(metrics={"parts": 7}, info={"cold_s": 0.4})
+
+See ``docs/benchmarks.md`` for the benchmark → paper-figure map and the
+baseline-refresh workflow.
+"""
+
+from .compare import (
+    DEFAULT_MAX_REGRESSION,
+    DEFAULT_TIMING_FLOOR,
+    ComparisonReport,
+    ComparisonRow,
+    compare_suites,
+    metrics_equal,
+)
+from .registry import (
+    REGISTRY,
+    Benchmark,
+    BenchError,
+    find_bench_dir,
+    load_benchmarks,
+    payload,
+    register,
+    select,
+)
+from .runner import (
+    measure,
+    render_suite,
+    run_benchmark,
+    run_suite,
+    save_per_benchmark,
+    script_main,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    BenchResult,
+    BenchSuite,
+    EnvironmentFingerprint,
+    SchemaError,
+    TimingStats,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchResult",
+    "BenchSuite",
+    "Benchmark",
+    "BenchError",
+    "ComparisonReport",
+    "ComparisonRow",
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_TIMING_FLOOR",
+    "EnvironmentFingerprint",
+    "REGISTRY",
+    "SchemaError",
+    "TimingStats",
+    "compare_suites",
+    "find_bench_dir",
+    "load_benchmarks",
+    "measure",
+    "metrics_equal",
+    "payload",
+    "register",
+    "render_suite",
+    "run_benchmark",
+    "run_suite",
+    "save_per_benchmark",
+    "script_main",
+    "select",
+]

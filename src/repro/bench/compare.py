@@ -1,0 +1,230 @@
+"""Suite comparison: the perf-regression gate.
+
+``repro bench compare run.json baseline.json`` diffs two
+:class:`~repro.bench.schema.BenchSuite` files:
+
+* **model metrics** must match exactly (integers, strings and booleans
+  bit-for-bit; floats up to IEEE/libm noise, rel 1e-9) — partition
+  sizes, kernel sweeps and exchanged bytes are deterministic, so any
+  drift is a behaviour change, not noise;
+* **parameters** must match — comparing a 12-qubit run against a
+  20-qubit baseline is meaningless and fails loudly;
+* **timing** is thresholded: the run's median must stay within
+  ``max_regression`` x the baseline's median.  The default is generous
+  (cross-machine medians vary hugely) and every knob has a
+  ``REPRO_BENCH_*`` override so loaded CI runners can relax the gate
+  without editing the workflow;
+* benchmarks present in the baseline but missing from the run fail
+  (coverage must not silently shrink); new benchmarks only note.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .schema import BenchSuite
+
+__all__ = [
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_TIMING_FLOOR",
+    "ComparisonRow",
+    "ComparisonReport",
+    "metrics_equal",
+    "compare_suites",
+]
+
+#: Default ceiling on run-median / baseline-median.  Deliberately
+#: generous: the committed baseline and the CI runner are different
+#: machines.  Tighten via --max-regression / REPRO_BENCH_MAX_REGRESSION
+#: when baseline and run share hardware.
+DEFAULT_MAX_REGRESSION = 10.0
+
+#: Baselines faster than this (seconds) are pure noise at CI's timer
+#: resolution and scheduling jitter; their timing is reported but never
+#: gated.
+DEFAULT_TIMING_FLOOR = 0.05
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-12
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return default if value in (None, "") else float(value)
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "yes")
+
+
+def metrics_equal(a: Any, b: Any) -> bool:
+    """Exact model-metric equality (floats up to libm noise).
+
+    Ints/bools/strings compare exactly; floats within rel 1e-9 (model
+    metrics are deterministic arithmetic, but ``exp``/``log`` results
+    may differ in the last ulp across libm builds).  Containers recurse.
+    """
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if isinstance(a, int) and isinstance(b, int):
+            return a == b
+        return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            metrics_equal(a[k], b[k]) for k in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            metrics_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+@dataclass
+class ComparisonRow:
+    name: str
+    ok: bool
+    timing_ratio: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ComparisonReport:
+    max_regression: float
+    timing_floor: float
+    skip_timing: bool
+    rows: List[ComparisonRow] = field(default_factory=list)
+    environment_drift: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        lines = [
+            f"perf gate: max_regression={self.max_regression:g}x, "
+            f"timing_floor={self.timing_floor:g}s"
+            + (", timing gate SKIPPED" if self.skip_timing else "")
+        ]
+        for drift in self.environment_drift:
+            lines.append(f"note: environment drift — {drift}")
+        for row in self.rows:
+            status = "ok  " if row.ok else "FAIL"
+            ratio = (
+                f"{row.timing_ratio:.2f}x"
+                if row.timing_ratio is not None
+                else "   —  "
+            )
+            line = f"  [{status}] {row.name:<18} timing {ratio}"
+            lines.append(line)
+            for note in row.notes:
+                lines.append(f"         - {note}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"perf gate {verdict}: "
+            f"{sum(r.ok for r in self.rows)}/{len(self.rows)} benchmarks ok"
+        )
+        return "\n".join(lines)
+
+
+def compare_suites(
+    run: BenchSuite,
+    baseline: BenchSuite,
+    max_regression: Optional[float] = None,
+    timing_floor: Optional[float] = None,
+    skip_timing: Optional[bool] = None,
+) -> ComparisonReport:
+    """Gate ``run`` against ``baseline``; see the module docstring."""
+    report = ComparisonReport(
+        max_regression=(
+            _env_float("REPRO_BENCH_MAX_REGRESSION", DEFAULT_MAX_REGRESSION)
+            if max_regression is None
+            else max_regression
+        ),
+        timing_floor=(
+            _env_float("REPRO_BENCH_TIMING_FLOOR", DEFAULT_TIMING_FLOOR)
+            if timing_floor is None
+            else timing_floor
+        ),
+        skip_timing=(
+            _env_flag("REPRO_BENCH_SKIP_TIMING")
+            if skip_timing is None
+            else skip_timing
+        ),
+    )
+
+    env_run, env_base = run.environment, baseline.environment
+    for field_name in ("python", "numpy", "platform", "backend", "cpu_count"):
+        a, b = getattr(env_run, field_name), getattr(env_base, field_name)
+        if a != b:
+            report.environment_drift.append(
+                f"{field_name}: run={a!r} baseline={b!r}"
+            )
+
+    run_names = set(run.names())
+    for base_result in baseline.results:
+        row = ComparisonRow(name=base_result.name, ok=True)
+        report.rows.append(row)
+        if base_result.name not in run_names:
+            row.ok = False
+            row.notes.append("missing from the run (coverage shrank)")
+            continue
+        res = run.result(base_result.name)
+
+        if res.params != base_result.params:
+            row.ok = False
+            row.notes.append(
+                f"params differ: run={res.params} "
+                f"baseline={base_result.params}"
+            )
+            continue
+
+        for key in sorted(set(res.metrics) | set(base_result.metrics)):
+            if key not in res.metrics:
+                row.ok = False
+                row.notes.append(f"metric {key!r} missing from the run")
+            elif key not in base_result.metrics:
+                row.ok = False
+                row.notes.append(f"metric {key!r} missing from the baseline")
+            elif not metrics_equal(res.metrics[key], base_result.metrics[key]):
+                row.ok = False
+                row.notes.append(
+                    f"metric {key!r}: run={res.metrics[key]!r} != "
+                    f"baseline={base_result.metrics[key]!r}"
+                )
+
+        base_median = base_result.timing.median
+        if base_median > 0:
+            row.timing_ratio = res.timing.median / base_median
+        if report.skip_timing:
+            continue
+        if base_median < report.timing_floor:
+            row.notes.append(
+                f"timing not gated (baseline median "
+                f"{base_median * 1e3:.1f}ms < floor "
+                f"{report.timing_floor * 1e3:.0f}ms)"
+            )
+            continue
+        if (
+            row.timing_ratio is not None
+            and row.timing_ratio > report.max_regression
+        ):
+            row.ok = False
+            row.notes.append(
+                f"timing regression: median {res.timing.median:.3f}s vs "
+                f"baseline {base_median:.3f}s "
+                f"({row.timing_ratio:.2f}x > {report.max_regression:g}x; "
+                f"override with REPRO_BENCH_MAX_REGRESSION)"
+            )
+
+    for name in sorted(run_names - {r.name for r in baseline.results}):
+        report.rows.append(
+            ComparisonRow(
+                name=name, ok=True, notes=["new benchmark (not in baseline)"]
+            )
+        )
+    return report

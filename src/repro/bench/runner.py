@@ -1,0 +1,256 @@
+"""Shared benchmark execution: one timing loop for every script.
+
+The historical ``benchmarks/`` scripts each hand-rolled warm-up/repeat
+timing with subtle differences (some timed a single run, some kept the
+best of two).  :func:`measure` is the one loop everything now goes
+through — warm-up runs execute but are never recorded, every timed
+repeat is kept, and reports quote median + min.  :func:`run_benchmark`
+wraps a registered benchmark in that loop and packages the outcome as a
+:class:`~repro.bench.schema.BenchResult`; :func:`run_suite` executes a
+selection and yields the ``BENCH_*.json``-shaped
+:class:`~repro.bench.schema.BenchSuite`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .registry import Benchmark, BenchError, select
+from .schema import BenchResult, BenchSuite, EnvironmentFingerprint, TimingStats
+
+__all__ = [
+    "measure",
+    "run_benchmark",
+    "run_suite",
+    "save_per_benchmark",
+    "script_main",
+]
+
+
+def measure(
+    fn: Callable[[], Any], repeats: int = 1, warmup: int = 0
+) -> Tuple[TimingStats, Any]:
+    """Time ``fn`` with warm-up: returns (stats, last return value).
+
+    Warm-up calls absorb one-time costs (plan compilation, caches,
+    thread-pool spin-up) so the recorded repeats measure steady state.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    times: List[float] = []
+    value: Any = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - t0)
+    return TimingStats.from_times(times, warmup=max(0, warmup)), value
+
+
+def run_benchmark(
+    bench: Benchmark,
+    overrides: Optional[Dict[str, Any]] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    smoke: bool = False,
+) -> BenchResult:
+    """Execute one registered benchmark through the shared timing loop.
+
+    Model metrics must be identical across repeats — a mismatch means
+    the benchmark leaked nondeterminism into the gated section, which
+    would make every later comparison meaningless, so it fails loudly
+    here rather than silently in CI.
+    """
+    params = bench.merged_params(overrides, smoke=smoke)
+    repeats = bench.repeats if repeats is None else repeats
+    warmup = bench.warmup if warmup is None else warmup
+
+    payloads: List[Dict[str, Any]] = []
+
+    def call() -> Dict[str, Any]:
+        out = bench.fn(dict(params))
+        if not isinstance(out, dict) or "metrics" not in out:
+            raise BenchError(
+                f"benchmark {bench.name!r} must return bench.payload(...)"
+            )
+        payloads.append(out)
+        return out
+
+    timing, last = measure(call, repeats=repeats, warmup=warmup)
+    timed = payloads[-repeats:]
+    for other in timed[:-1]:
+        if other["metrics"] != last["metrics"]:
+            raise BenchError(
+                f"benchmark {bench.name!r} produced nondeterministic model "
+                f"metrics across repeats: {other['metrics']} != "
+                f"{last['metrics']}"
+            )
+    if not all(p.get("ok", True) for p in payloads):
+        raise BenchError(
+            f"benchmark {bench.name!r} failed its correctness check "
+            f"(payload ok=False): metrics={last['metrics']} "
+            f"info={last.get('info', {})}"
+        )
+    return BenchResult(
+        name=bench.name,
+        tags=bench.tags,
+        params=params,
+        metrics=dict(last["metrics"]),
+        info=dict(last.get("info", {})),
+        timing=timing,
+    )
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    tag: Optional[str] = None,
+    overrides: Optional[Dict[str, Any]] = None,
+    repeats: Optional[int] = None,
+    warmup: Optional[int] = None,
+    smoke: Optional[bool] = None,
+    suite_name: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BenchSuite:
+    """Run a selection of registered benchmarks into one suite.
+
+    ``smoke`` defaults to True exactly when the selection is the
+    ``smoke`` tag, so ``repro bench run --tag smoke`` sizes every
+    benchmark with its registered smoke parameters.
+    """
+    benches = select(names, tag)
+    if smoke is None:
+        smoke = tag == "smoke"
+    suite = BenchSuite(
+        suite=suite_name or tag or ("custom" if names else "all"),
+        created=_dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        environment=EnvironmentFingerprint.capture(),
+    )
+    for bench in benches:
+        if progress is not None:
+            progress(bench.name)
+        suite.results.append(
+            run_benchmark(
+                bench,
+                overrides=overrides,
+                repeats=repeats,
+                warmup=warmup,
+                smoke=smoke,
+            )
+        )
+    return suite
+
+
+def save_per_benchmark(suite: BenchSuite, results_dir: Optional[str] = None) -> str:
+    """Write one ``<name>.json`` per result under ``results_dir``/bench.
+
+    Complements the single suite file: per-benchmark entries are what
+    longitudinal tooling (one file per metric trajectory) consumes.
+    """
+    if results_dir is None:
+        from ..experiments.common import RESULTS_DIR
+
+        results_dir = RESULTS_DIR
+    out_dir = os.path.join(results_dir, "bench")
+    os.makedirs(out_dir, exist_ok=True)
+    import json
+
+    for result in suite.results:
+        path = os.path.join(out_dir, f"{result.name}.json")
+        entry = dict(result.to_dict())
+        entry["suite"] = suite.suite
+        entry["created"] = suite.created
+        entry["environment"] = suite.environment.to_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, indent=2)
+            fh.write("\n")
+    return out_dir
+
+
+def _parse_set(pairs: Iterable[str]) -> Dict[str, Any]:
+    """Parse ``--set key=value`` overrides with JSON-ish coercion."""
+    out: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise BenchError(f"--set expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        value: Any = raw
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            for cast in (int, float):
+                try:
+                    value = cast(raw)
+                    break
+                except ValueError:
+                    continue
+        out[key.strip()] = value
+    return out
+
+
+def render_suite(suite: BenchSuite) -> str:
+    """Human-readable one-line-per-benchmark summary."""
+    lines = [
+        f"suite={suite.suite} backend={suite.environment.backend} "
+        f"python={suite.environment.python} numpy={suite.environment.numpy} "
+        f"cpus={suite.environment.cpu_count}",
+        f"{'benchmark':>16} {'median s':>10} {'min s':>10} "
+        f"{'repeats':>7}  metrics",
+    ]
+    for r in suite.results:
+        shown = ", ".join(f"{k}={v}" for k, v in list(r.metrics.items())[:4])
+        if len(r.metrics) > 4:
+            shown += ", …"
+        lines.append(
+            f"{r.name:>16} {r.timing.median:>10.3f} {r.timing.min:>10.3f} "
+            f"{r.timing.repeats:>7}  {shown}"
+        )
+    return "\n".join(lines)
+
+
+def script_main(name: str, argv: Optional[List[str]] = None) -> int:
+    """Shared ``python benchmarks/bench_<x>.py`` entry point.
+
+    Replaces the per-script argparse mains: one flag set everywhere
+    (``--set key=value`` for parameters, ``--smoke`` for the registered
+    smoke sizes, ``--repeats``/``--warmup`` for the timing loop,
+    ``--json`` for a single-benchmark suite file).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=f"Run the {name!r} benchmark through repro.bench"
+    )
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="override a benchmark parameter")
+    parser.add_argument("--smoke", action="store_true",
+                        help="use the registered smoke-size parameters")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed repeats (default: per-benchmark)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="untimed warm-up runs (default: per-benchmark)")
+    parser.add_argument("--json", default=None,
+                        help="write a single-benchmark suite JSON here")
+    args = parser.parse_args(argv)
+
+    suite = run_suite(
+        names=[name],
+        overrides=_parse_set(args.overrides),
+        repeats=args.repeats,
+        warmup=args.warmup,
+        smoke=args.smoke,
+        suite_name=name,
+        progress=lambda n: print(f"[bench] running {n} …", flush=True),
+    )
+    print(render_suite(suite))
+    if args.json:
+        suite.write(args.json)
+        print(f"[bench] suite written to {args.json}")
+    return 0

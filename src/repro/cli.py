@@ -9,6 +9,9 @@ Usage::
     repro simulate qft --qubits 16 --no-fuse   # partitioned execution
     repro simulate qft --qubits 20 --backend threaded --threads 4
     repro batch jobs.json -o results.json      # batched serving runtime
+    repro bench list                           # benchmark registry
+    repro bench run --tag smoke --json BENCH_smoke.json
+    repro bench compare BENCH_smoke.json benchmarks/baselines/smoke.json
 
 Each experiment prints its paper-shaped table and (with ``--save``) writes
 it under ``results/``.  ``simulate`` partitions a generated circuit, runs
@@ -19,6 +22,9 @@ compiled sweep counts, per-backend wall time and a cross-check against
 the flat simulator.  ``batch`` feeds a JSON job manifest through the
 :mod:`repro.serve` runtime (shared partition/plan caches across
 structurally identical circuits) and writes a results manifest.
+``bench`` drives the unified benchmark registry (:mod:`repro.bench`):
+list/run registered benchmarks with standardized JSON output, and gate
+a run against a committed baseline (see ``docs/benchmarks.md``).
 
 Defaults and the ``REPRO_*`` environment variables are documented in
 ``docs/configuration.md``.
@@ -184,6 +190,14 @@ def _batch(args) -> int:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # ``repro bench`` owns its own argparse tree (list/run/compare);
+    # dispatch before the experiment parser so its flags stay isolated.
+    if argv[:1] == ["bench"]:
+        from .bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HiSVSIM reproduction experiment driver",
@@ -191,6 +205,13 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list experiments")
+
+    # Help-only stub: real parsing happens in repro.bench.cli (dispatched
+    # above before parse_args ever sees "bench").
+    sub.add_parser(
+        "bench",
+        help="benchmark registry: list, run, compare (perf gate)",
+    )
 
     for name in EXPERIMENTS:
         p = sub.add_parser(name, help=f"run experiment {name}")

@@ -1,0 +1,458 @@
+"""The unified benchmark registry (repro.bench).
+
+Covers the ISSUE-5 acceptance surface: schema JSON roundtrip, registry
+discovery of all 18 benchmark scripts, comparator pass/fail/threshold
+behaviour, and a ``repro bench run`` CLI smoke at tiny qubit widths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BenchError,
+    BenchResult,
+    BenchSuite,
+    EnvironmentFingerprint,
+    SchemaError,
+    TimingStats,
+    compare_suites,
+    load_benchmarks,
+    measure,
+    metrics_equal,
+    payload,
+    register,
+    run_benchmark,
+    select,
+)
+from repro.bench.registry import Benchmark
+from repro.cli import main as cli_main
+
+ALL_BENCHMARKS = {
+    "ablation",
+    "batch",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fusion",
+    "ilp",
+    "kernels",
+    "parallel",
+    "partitioners",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "threads",
+}
+
+SMOKE_REQUIRED = {"fusion", "parallel", "batch"}
+
+
+def make_result(name="demo", metrics=None, params=None, times=(0.2, 0.1, 0.3)):
+    return BenchResult(
+        name=name,
+        tags=("smoke",),
+        params=dict(params or {"qubits": 8}),
+        metrics=dict(metrics if metrics is not None else {"parts": 4}),
+        info={"speedup": 1.5},
+        timing=TimingStats.from_times(times, warmup=1),
+    )
+
+
+def make_suite(results, suite="smoke"):
+    return BenchSuite(
+        suite=suite,
+        created="2026-07-30T00:00:00+00:00",
+        environment=EnvironmentFingerprint.capture(),
+        results=list(results),
+    )
+
+
+class TestSchema:
+    def test_timing_stats(self):
+        stats = TimingStats.from_times([0.3, 0.1, 0.2], warmup=2)
+        assert stats.median == 0.2
+        assert stats.min == 0.1
+        assert stats.repeats == 3
+        assert stats.warmup == 2
+
+    def test_timing_stats_requires_a_repeat(self):
+        with pytest.raises(ValueError):
+            TimingStats.from_times([])
+
+    def test_result_roundtrip(self):
+        result = make_result()
+        assert BenchResult.from_dict(result.to_dict()) == result
+
+    def test_suite_json_roundtrip(self, tmp_path):
+        suite = make_suite([make_result("a"), make_result("b")])
+        path = tmp_path / "BENCH_smoke.json"
+        suite.write(str(path))
+        loaded = BenchSuite.load(str(path))
+        assert loaded.suite == "smoke"
+        assert loaded.schema == SCHEMA_VERSION
+        assert loaded.names() == ["a", "b"]
+        assert loaded.result("a") == suite.result("a")
+        assert loaded.environment == suite.environment
+
+    def test_suite_json_is_machine_readable(self, tmp_path):
+        suite = make_suite([make_result()])
+        path = tmp_path / "out.json"
+        suite.write(str(path))
+        raw = json.loads(path.read_text())
+        assert raw["schema"] == SCHEMA_VERSION
+        assert raw["results"][0]["timing"]["median_s"] == 0.2
+        assert raw["environment"]["cpu_count"] >= 1
+
+    def test_schema_version_gate(self):
+        bad = make_suite([]).to_dict()
+        bad["schema"] = 999
+        with pytest.raises(SchemaError):
+            BenchSuite.from_dict(bad)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            BenchSuite.from_dict({"suite": "x"})
+        with pytest.raises(SchemaError):
+            BenchResult.from_dict({"name": "x"})
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json")
+        with pytest.raises(SchemaError):
+            BenchSuite.load(str(path))
+
+
+class TestRegistry:
+    def test_discovers_all_benchmarks(self):
+        registry = load_benchmarks()
+        assert set(registry) >= ALL_BENCHMARKS
+        assert len(ALL_BENCHMARKS) == 18
+
+    def test_smoke_tag_covers_fusion_parallel_batch(self):
+        registry = load_benchmarks()
+        smoke = {b.name for b in select(tag="smoke", registry=registry)}
+        assert SMOKE_REQUIRED <= smoke
+
+    def test_every_benchmark_has_description_and_tags(self):
+        for bench in load_benchmarks().values():
+            assert bench.tags, bench.name
+            assert bench.description, bench.name
+
+    def test_select_unknown_name(self):
+        with pytest.raises(BenchError, match="unknown benchmark"):
+            select(names=["nope"], registry=load_benchmarks())
+
+    def test_select_unknown_tag(self):
+        with pytest.raises(BenchError, match="tag"):
+            select(tag="no-such-tag", registry=load_benchmarks())
+
+    def test_merged_params_smoke_and_overrides(self):
+        bench = Benchmark(
+            name="x",
+            fn=lambda p: payload({}),
+            tags=("smoke",),
+            params={"qubits": 20, "threads": 4},
+            smoke={"qubits": 12},
+        )
+        assert bench.merged_params() == {"qubits": 20, "threads": 4}
+        assert bench.merged_params(smoke=True)["qubits"] == 12
+        merged = bench.merged_params({"threads": 2, "unknown": 1}, smoke=True)
+        assert merged == {"qubits": 12, "threads": 2}
+
+    def test_merged_params_coerces_list_overrides(self):
+        # --set circuits=qft,qaoa must stay a list, not become a string
+        # the benchmark would iterate per character.
+        bench = Benchmark(
+            name="x",
+            fn=lambda p: payload({}),
+            tags=(),
+            params={"circuits": ["qft", "qaoa", "grover"], "seeds": [1, 2]},
+        )
+        assert bench.merged_params({"circuits": "qft"}) == {
+            "circuits": ["qft"],
+            "seeds": [1, 2],
+        }
+        assert bench.merged_params({"circuits": "qft, qaoa"})["circuits"] == [
+            "qft",
+            "qaoa",
+        ]
+        assert bench.merged_params({"seeds": 7})["seeds"] == [7]
+
+
+class TestRunner:
+    def test_measure_warmup_not_recorded(self):
+        calls = []
+        stats, value = measure(lambda: calls.append(1) or len(calls),
+                               repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert stats.repeats == 3 and stats.warmup == 2
+        assert value == 5
+
+    def test_run_benchmark_packages_payload(self):
+        bench = Benchmark(
+            name="toy",
+            fn=lambda p: payload({"n": p["n"] * 2}, {"note": "hi"}),
+            tags=("unit",),
+            params={"n": 4},
+            repeats=2,
+            warmup=0,
+        )
+        result = run_benchmark(bench)
+        assert result.metrics == {"n": 8}
+        assert result.info == {"note": "hi"}
+        assert result.params == {"n": 4}
+        assert result.timing.repeats == 2
+
+    def test_run_benchmark_rejects_bad_return(self):
+        bench = Benchmark(
+            name="bad", fn=lambda p: 42, tags=(), params={},
+            repeats=1, warmup=0,
+        )
+        with pytest.raises(BenchError, match="payload"):
+            run_benchmark(bench)
+
+    def test_run_benchmark_fails_on_correctness_check(self):
+        # ok=False (state divergence etc.) must not look like success:
+        # the old standalone scripts exited non-zero on verification
+        # failure and the registry path keeps that contract.
+        bench = Benchmark(
+            name="broken",
+            fn=lambda p: payload({"states_match": False}, ok=False),
+            tags=(),
+            params={},
+            repeats=1,
+            warmup=0,
+        )
+        with pytest.raises(BenchError, match="correctness"):
+            run_benchmark(bench)
+        # Through the CLI the same failure is a non-zero exit, not a
+        # success report.
+        from repro.bench import REGISTRY
+
+        register("broken-unit", tags=("unit-only",), repeats=1, warmup=0)(
+            lambda p: payload({"states_match": False}, ok=False)
+        )
+        try:
+            assert cli_main(["bench", "run", "broken-unit"]) == 2
+        finally:
+            REGISTRY.pop("broken-unit", None)
+
+    def test_run_benchmark_rejects_nondeterministic_metrics(self):
+        counter = iter(range(100))
+
+        bench = Benchmark(
+            name="flaky",
+            fn=lambda p: payload({"n": next(counter)}),
+            tags=(),
+            params={},
+            repeats=2,
+            warmup=0,
+        )
+        with pytest.raises(BenchError, match="nondeterministic"):
+            run_benchmark(bench)
+
+
+class TestComparator:
+    def test_metrics_equal_semantics(self):
+        assert metrics_equal(3, 3)
+        assert not metrics_equal(3, 4)
+        assert metrics_equal(1.0, 1.0 + 1e-12)
+        assert not metrics_equal(1.0, 1.001)
+        assert metrics_equal(True, True)
+        assert not metrics_equal(True, 1.0000001)
+        assert metrics_equal({"a": [1, 2.0]}, {"a": [1, 2.0]})
+        assert not metrics_equal({"a": 1}, {"b": 1})
+
+    def test_identical_suites_pass(self):
+        suite = make_suite([make_result()])
+        report = compare_suites(suite, suite)
+        assert report.ok
+        assert report.rows[0].timing_ratio == pytest.approx(1.0)
+
+    def test_metric_drift_fails(self):
+        base = make_suite([make_result(metrics={"parts": 4})])
+        run = make_suite([make_result(metrics={"parts": 5})])
+        report = compare_suites(run, base)
+        assert not report.ok
+        assert any("parts" in n for n in report.rows[0].notes)
+
+    def test_missing_and_extra_metric_keys_fail(self):
+        base = make_suite([make_result(metrics={"parts": 4, "gates": 9})])
+        run = make_suite([make_result(metrics={"parts": 4, "sweeps": 1})])
+        report = compare_suites(run, base)
+        assert not report.ok
+        notes = " ".join(report.rows[0].notes)
+        assert "gates" in notes and "sweeps" in notes
+
+    def test_params_mismatch_fails(self):
+        base = make_suite([make_result(params={"qubits": 20})])
+        run = make_suite([make_result(params={"qubits": 12})])
+        report = compare_suites(run, base)
+        assert not report.ok
+        assert "params differ" in report.rows[0].notes[0]
+
+    def test_missing_benchmark_fails_extra_is_noted(self):
+        base = make_suite([make_result("a")])
+        run = make_suite([make_result("b")])
+        report = compare_suites(run, base)
+        assert not report.ok
+        by_name = {r.name: r for r in report.rows}
+        assert not by_name["a"].ok
+        assert by_name["b"].ok
+
+    def test_timing_regression_gated_by_threshold(self):
+        base = make_suite([make_result(times=(0.1, 0.1, 0.1))])
+        slow = make_suite([make_result(times=(0.5, 0.5, 0.5))])
+        assert not compare_suites(slow, base, max_regression=2.0).ok
+        assert compare_suites(slow, base, max_regression=10.0).ok
+        assert compare_suites(slow, base, max_regression=2.0,
+                              skip_timing=True).ok
+
+    def test_timing_floor_suppresses_noise(self):
+        base = make_suite([make_result(times=(0.001,))])
+        slow = make_suite([make_result(times=(0.1,))])
+        report = compare_suites(slow, base, max_regression=2.0)
+        assert report.ok  # 1 ms baseline is below the 50 ms gating floor
+        report = compare_suites(slow, base, max_regression=2.0,
+                                timing_floor=0.0001)
+        assert not report.ok
+
+    def test_env_overrides(self, monkeypatch):
+        base = make_suite([make_result(times=(0.1,))])
+        slow = make_suite([make_result(times=(5.0,))])
+        assert not compare_suites(slow, base).ok
+        monkeypatch.setenv("REPRO_BENCH_MAX_REGRESSION", "100")
+        assert compare_suites(slow, base).ok
+        monkeypatch.delenv("REPRO_BENCH_MAX_REGRESSION")
+        monkeypatch.setenv("REPRO_BENCH_SKIP_TIMING", "1")
+        assert compare_suites(slow, base).ok
+
+    def test_environment_drift_noted_not_failed(self):
+        base = make_suite([make_result()])
+        run = make_suite([make_result()])
+        object.__setattr__(run.environment, "numpy", "0.0.0")
+        report = compare_suites(run, base)
+        assert report.ok
+        assert any("numpy" in d for d in report.environment_drift)
+        assert "environment drift" in report.render()
+
+
+class TestCli:
+    """``repro bench`` end-to-end at tiny widths (in-process)."""
+
+    def test_bench_list(self, capsys):
+        assert cli_main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fusion", "parallel", "batch"):
+            assert name in out
+        assert "18 benchmarks" in out
+
+    def test_bench_run_smoke_tiny_and_compare(self, capsys, tmp_path):
+        run_path = tmp_path / "BENCH_smoke.json"
+        # The smoke tag at tiny widths: every smoke benchmark shrinks
+        # further via --set so the gate exercises fusion, parallel and
+        # batch in a few seconds.
+        assert cli_main([
+            "bench", "run", "--tag", "smoke",
+            "--set", "qubits=8", "--set", "jobs=2", "--set", "threads=2",
+            "--set", "limit=5", "--set", "rounds=1",
+            "--repeats", "1", "--warmup", "0",
+            "--json", str(run_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "suite=smoke" in out
+
+        suite = BenchSuite.load(str(run_path))
+        names = set(suite.names())
+        assert SMOKE_REQUIRED <= names
+        fusion = suite.result("fusion")
+        assert fusion.params["qubits"] == 8
+        assert fusion.metrics["states_match"] is True
+        assert fusion.metrics["unfused_sweeps"] > fusion.metrics["fused_sweeps"]
+        parallel = suite.result("parallel")
+        assert parallel.metrics["qft_bit_identical"] is True
+        batch = suite.result("batch")
+        assert batch.metrics["partitions_computed"] == 1
+        assert batch.metrics["states_match"] is True
+
+        # Self-compare is the canonical pass case of the perf gate.
+        assert cli_main([
+            "bench", "compare", str(run_path), str(run_path),
+        ]) == 0
+        assert "perf gate PASS" in capsys.readouterr().out
+
+    def test_bench_compare_fails_on_metric_drift(self, capsys, tmp_path):
+        suite = make_suite([make_result(metrics={"parts": 4})])
+        base_path = tmp_path / "base.json"
+        suite.write(str(base_path))
+        drifted = make_suite([make_result(metrics={"parts": 6})])
+        run_path = tmp_path / "run.json"
+        drifted.write(str(run_path))
+        assert cli_main([
+            "bench", "compare", str(run_path), str(base_path),
+        ]) == 1
+        assert "perf gate FAIL" in capsys.readouterr().out
+
+    def test_bench_compare_missing_file(self, capsys, tmp_path):
+        assert cli_main([
+            "bench", "compare", str(tmp_path / "a.json"),
+            str(tmp_path / "b.json"),
+        ]) == 2
+
+    def test_bench_run_unknown_name(self, capsys):
+        assert cli_main(["bench", "run", "definitely-not-a-bench"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().out
+
+    def test_bench_run_single_with_save(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setattr(
+            "repro.experiments.common.RESULTS_DIR", str(tmp_path)
+        )
+        assert cli_main([
+            "bench", "run", "partitioners",
+            "--set", "qubits=8", "--set", "limit=5",
+            "--repeats", "1", "--warmup", "0", "--save",
+        ]) == 0
+        entry = tmp_path / "bench" / "partitioners.json"
+        assert entry.exists()
+        data = json.loads(entry.read_text())
+        assert data["name"] == "partitioners"
+        assert data["environment"]["cpu_count"] >= 1
+
+
+class TestCommittedBaseline:
+    """The committed smoke baseline stays loadable and complete."""
+
+    BASELINE = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks", "baselines", "smoke.json",
+    )
+
+    def test_baseline_is_schema_valid(self):
+        suite = BenchSuite.load(self.BASELINE)
+        assert suite.suite == "smoke"
+        assert SMOKE_REQUIRED <= set(suite.names())
+
+    def test_baseline_names_match_registered_smoke_set(self):
+        suite = BenchSuite.load(self.BASELINE)
+        registry = load_benchmarks()
+        smoke = {b.name for b in select(tag="smoke", registry=registry)}
+        assert set(suite.names()) == smoke
+
+    def test_baseline_params_match_registered_smoke_params(self):
+        # CI compares a --tag smoke run against this file; params drift
+        # would fail the gate for every future PR, so pin it here.
+        suite = BenchSuite.load(self.BASELINE)
+        registry = load_benchmarks()
+        for result in suite.results:
+            expected = registry[result.name].merged_params(smoke=True)
+            assert result.params == expected, result.name

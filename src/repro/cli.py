@@ -9,6 +9,7 @@ Usage::
     repro simulate qft --qubits 16 --no-fuse   # partitioned execution
     repro simulate qft --qubits 20 --backend threaded --threads 4
     repro batch jobs.json -o results.json      # batched serving runtime
+    repro serve --port 8035 --workers 2        # resident serving daemon
     repro bench list                           # benchmark registry
     repro bench run --tag smoke --json BENCH_smoke.json
     repro bench compare BENCH_smoke.json benchmarks/baselines/smoke.json
@@ -22,6 +23,9 @@ compiled sweep counts, per-backend wall time and a cross-check against
 the flat simulator.  ``batch`` feeds a JSON job manifest through the
 :mod:`repro.serve` runtime (shared partition/plan caches across
 structurally identical circuits) and writes a results manifest.
+``serve`` keeps that runtime resident behind an asyncio HTTP/JSON API
+(job submission with backpressure, TTL'd results, graceful drain on
+SIGTERM; API schema in ``docs/serving.md``).
 ``bench`` drives the unified benchmark registry (:mod:`repro.bench`):
 list/run registered benchmarks with standardized JSON output, and gate
 a run against a committed baseline (see ``docs/benchmarks.md``).
@@ -189,6 +193,40 @@ def _batch(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """Run the resident serving daemon until drained."""
+    from .serve import ServeConfig, ServeDaemon
+
+    config = ServeConfig.from_env(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        ttl=args.ttl,
+        drain_grace=args.drain_grace,
+        strategy=args.strategy,
+        limit=args.limit,
+        backend=args.backend,
+        threads=args.threads,
+        fuse=args.fuse,
+    )
+    ServeDaemon(config).run()
+    print("repro serve drained cleanly")
+    return 0
+
+
+def _working_set_limit(text: str) -> int:
+    """argparse type for ``--limit``: an integer >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"limit must be >= 1 (got {value}); omit the flag to derive "
+            f"the per-circuit default"
+        )
+    return value
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # ``repro bench`` owns its own argparse tree (list/run/compare);
@@ -278,9 +316,9 @@ def main(argv=None) -> int:
     p_batch.add_argument("--strategy", default=None,
                          choices=["Nat", "DFS", "dagP"],
                          help="partitioner (default: dagP)")
-    p_batch.add_argument("--limit", type=int, default=None,
-                         help="working-set limit (default: qubits - 3 "
-                              "per circuit)")
+    p_batch.add_argument("--limit", type=_working_set_limit, default=None,
+                         help="working-set limit, >= 1 (default: "
+                              "qubits - 3 per circuit)")
     p_batch.add_argument("--workers", type=int, default=None,
                          help="concurrent jobs (default: 1)")
     p_batch.add_argument("--backend", default=None,
@@ -292,6 +330,56 @@ def main(argv=None) -> int:
     p_batch.add_argument("--fuse", dest="fuse", action="store_true",
                          default=None, help="force fusion on")
     p_batch.add_argument("--no-fuse", dest="fuse", action="store_false",
+                         help="force fusion off")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident serving daemon (asyncio HTTP/JSON API)",
+        description="Long-running serving daemon over repro.serve: "
+                    "POST /jobs (single job or manifest batch), "
+                    "GET /jobs/{handle}, GET /batches/{id}, /healthz, "
+                    "/metrics. Bounded admission with 429 backpressure, "
+                    "TTL'd results, graceful drain on SIGTERM. Defaults "
+                    "come from REPRO_SERVE_* (docs/configuration.md); "
+                    "flags override.",
+    )
+    p_serve.add_argument("--host", default=None,
+                         help="bind address (default: REPRO_SERVE_HOST "
+                              "or 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="TCP port, 0 = ephemeral (default: "
+                              "REPRO_SERVE_PORT or 8035)")
+    p_serve.add_argument("--queue-limit", type=int, default=None,
+                         help="max queued jobs before 429 (default: "
+                              "REPRO_SERVE_QUEUE_LIMIT or 256)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="executor worker threads (default: "
+                              "REPRO_SERVE_WORKERS or 2)")
+    p_serve.add_argument("--max-batch", type=int, default=None,
+                         help="max jobs dispatched to a worker at once "
+                              "(default: REPRO_SERVE_MAX_BATCH or 16)")
+    p_serve.add_argument("--ttl", type=float, default=None,
+                         help="seconds finished results stay retrievable "
+                              "(default: REPRO_SERVE_TTL or 600)")
+    p_serve.add_argument("--drain-grace", type=float, default=None,
+                         help="seconds to wait for workers on drain "
+                              "(default: REPRO_SERVE_DRAIN_GRACE or 30)")
+    p_serve.add_argument("--strategy", default=None,
+                         choices=["Nat", "DFS", "dagP"],
+                         help="partitioner (default: dagP)")
+    p_serve.add_argument("--limit", type=_working_set_limit, default=None,
+                         help="working-set limit, >= 1 (default: "
+                              "qubits - 3 per circuit)")
+    p_serve.add_argument("--backend", default=None,
+                         choices=["serial", "threaded", "process"],
+                         help="execution backend (default: REPRO_BACKEND, "
+                              "else serial)")
+    p_serve.add_argument("--threads", type=int, default=None,
+                         help="backend worker count (default: "
+                              "REPRO_THREADS)")
+    p_serve.add_argument("--fuse", dest="fuse", action="store_true",
+                         default=None, help="force fusion on")
+    p_serve.add_argument("--no-fuse", dest="fuse", action="store_false",
                          help="force fusion off")
 
     args = parser.parse_args(argv)
@@ -318,6 +406,8 @@ def main(argv=None) -> int:
         return _simulate(args)
     if args.command == "batch":
         return _batch(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "all":
         for name in EXPERIMENTS:
             print(f"=== {name} ===")

@@ -1,4 +1,4 @@
-"""Batched multi-circuit serving runtime.
+"""Batched multi-circuit serving runtime and the resident daemon.
 
 The entry point for workloads that simulate *many* circuits — parameter
 sweeps, benchmark families, request queues — instead of one.  Jobs
@@ -6,10 +6,15 @@ sweeps, benchmark families, request queues — instead of one.  Jobs
 (:func:`circuit_fingerprint`) and routed through shared partition and
 plan caches, so structurally identical circuits pay partitioning,
 fusion grouping and gather-table construction exactly once
-(:class:`BatchRunner`).  See ``docs/serving.md`` for the manifest
-schema and the amortisation model, and ``repro batch`` for the CLI.
+(:class:`BatchRunner`).  ``repro batch`` drives one manifest end to
+end; ``repro serve`` (:class:`ServeDaemon`) keeps the same runner
+resident behind an asyncio HTTP/JSON API — bounded admission
+(:class:`AdmissionQueue`), fingerprint-affine dispatch, a TTL'd
+:class:`ResultStore`, and graceful drain.  See ``docs/serving.md`` for
+the manifest/API schemas and the amortisation model.
 """
 
+from .daemon import ServeConfig, ServeDaemon
 from .jobs import (
     JobResult,
     SimJob,
@@ -17,8 +22,10 @@ from .jobs import (
     load_manifest,
     results_to_manifest,
 )
+from .queue import AdmissionQueue, QueueClosed, QueuedJob, QueueFull
 from .runner import BatchReport, BatchRunner, BatchStats, default_limit
 from .scheduler import SCHEDULES, fifo_order, grouped_order, order_jobs
+from .store import JobRecord, ResultStore
 
 __all__ = [
     "SimJob",
@@ -34,4 +41,12 @@ __all__ = [
     "fifo_order",
     "grouped_order",
     "order_jobs",
+    "AdmissionQueue",
+    "QueuedJob",
+    "QueueFull",
+    "QueueClosed",
+    "ResultStore",
+    "JobRecord",
+    "ServeConfig",
+    "ServeDaemon",
 ]

@@ -16,6 +16,7 @@ renders a list of :class:`JobResult` back to JSON-serialisable form.
 
 from __future__ import annotations
 
+import difflib
 import hashlib
 import json
 import os
@@ -128,11 +129,17 @@ class JobResult:
     ``state`` / ``counts`` / ``expectations`` are ``None`` unless the job
     requested them.  ``partition_cached`` records whether the job reused
     a partition computed for an earlier structurally identical job.
+    ``error`` is ``None`` on success; a failed job carries the exception
+    rendered as ``"TypeName: message"`` (and no outputs) — batches are
+    partial rather than all-or-nothing.
 
     >>> r = JobResult("j0", fingerprint="ab12", num_qubits=2, num_gates=3,
     ...               num_parts=1, seconds=0.01, partition_cached=True)
-    >>> r.job_id, r.state is None
-    ('j0', True)
+    >>> r.job_id, r.state is None, r.ok
+    ('j0', True, True)
+    >>> JobResult("j1", "ab12", 2, 3, 0, 0.0, False,
+    ...           error="ValueError: boom").ok
+    False
     """
 
     job_id: str
@@ -145,6 +152,12 @@ class JobResult:
     state: Optional[np.ndarray] = None
     counts: Optional[Dict[int, int]] = None
     expectations: Optional[List[float]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job completed without error."""
+        return self.error is None
 
 
 # ---------------------------------------------------------------------------
@@ -195,6 +208,11 @@ def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
     ``workers``, ...).  A job that names no outputs defaults to
     ``want_state=True``.
 
+    Unknown top-level keys are rejected (with the nearest valid option
+    named), so a typo'd option fails loudly instead of silently running
+    defaults; ``limit`` must be ``null``/absent (derive per circuit) or
+    an integer ``>= 1``.
+
     >>> jobs, options = load_manifest({
     ...     "schedule": "fifo",
     ...     "jobs": [{"id": "g",
@@ -203,6 +221,10 @@ def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
     ... })
     >>> options, jobs[0].job_id, jobs[0].shots, jobs[0].want_state
     ({'schedule': 'fifo'}, 'g', 8, False)
+    >>> load_manifest({"schedles": "fifo", "jobs": []})
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown manifest key 'schedles' (did you mean 'schedule'?)
     """
     base_dir = os.getcwd()
     if isinstance(source, (str, os.PathLike)):
@@ -213,9 +235,28 @@ def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
         manifest = source
     if not isinstance(manifest, dict) or "jobs" not in manifest:
         raise ValueError("manifest must be an object with a 'jobs' list")
+    valid_keys = ("jobs",) + _RUNNER_OPTION_KEYS
+    for key in manifest:
+        if key not in valid_keys:
+            close = difflib.get_close_matches(str(key), valid_keys, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else (
+                f"; valid keys: {', '.join(valid_keys)}"
+            )
+            raise ValueError(f"unknown manifest key {key!r}{hint}")
     options = {
         k: manifest[k] for k in _RUNNER_OPTION_KEYS if k in manifest
     }
+    if "limit" in options:
+        limit = options["limit"]
+        if limit is None:
+            del options["limit"]  # explicit null = derive per circuit
+        elif not isinstance(limit, int) or isinstance(limit, bool) \
+                or limit < 1:
+            raise ValueError(
+                f"manifest 'limit' must be an integer >= 1 or null "
+                f"(got {limit!r}); omit it to derive the per-circuit "
+                f"default"
+            )
     jobs: List[SimJob] = []
     for i, entry in enumerate(manifest["jobs"]):
         if not isinstance(entry, dict):
@@ -250,12 +291,18 @@ def results_to_manifest(
 
     States are inlined as ``[[re, im], ...]`` amplitude pairs; counts
     are keyed by the decimal basis-state index (little-endian bit
-    convention, as everywhere in this package).
+    convention, as everywhere in this package).  A failed job renders
+    its ``error`` string instead of outputs, so consumers can tell a
+    partial batch apart from a complete one per entry.
 
     >>> r = JobResult("j0", "ab12", num_qubits=1, num_gates=1, num_parts=1,
     ...               seconds=0.0, partition_cached=False, counts={2: 5})
     >>> results_to_manifest([r])["jobs"][0]["counts"]
     {'2': 5}
+    >>> bad = JobResult("j1", "ab12", 1, 1, 0, 0.0, False,
+    ...                 error="ValueError: boom")
+    >>> results_to_manifest([bad])["jobs"][0]["error"]
+    'ValueError: boom'
     """
     out_jobs = []
     for r in results:
@@ -268,6 +315,8 @@ def results_to_manifest(
             "seconds": r.seconds,
             "partition_cached": r.partition_cached,
         }
+        if r.error is not None:
+            entry["error"] = r.error
         if r.counts is not None:
             entry["counts"] = {str(k): v for k, v in sorted(r.counts.items())}
         if r.expectations is not None:

@@ -32,7 +32,7 @@ from ..circuits.circuit import QuantumCircuit
 from ..partition import get_partitioner
 from ..partition.base import Partition
 from ..sv.backend import ExecutionBackend
-from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, PlanCache
+from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, CacheCounters, PlanCache
 from ..sv.hier import HierarchicalExecutor
 from ..sv.pauli import expectations
 from ..sv.simulator import sample_counts, zero_state
@@ -82,6 +82,7 @@ class BatchStats:
     structures_compiled: int = 0
     structure_hits: int = 0
     plans_bound: int = 0
+    errored: int = 0
     seconds: float = 0.0
     schedule: str = "fifo"
 
@@ -95,6 +96,7 @@ class BatchStats:
             f"plan structures {self.structures_compiled} compiled / "
             f"{self.structure_hits} reused, "
             f"{self.plans_bound} matrix binds"
+            + (f", {self.errored} errored" if self.errored else "")
         )
 
 
@@ -117,6 +119,26 @@ class BatchReport:
         return len(self.results)
 
 
+class _RunCounters:
+    """Accounting local to one :meth:`BatchRunner.run` call.
+
+    A runner may serve several concurrent ``run()`` calls (the daemon's
+    worker threads share one runner); snapshot-delta accounting against
+    the runner's lifetime totals would interleave, so each run owns one
+    of these and every event is recorded here as well as on the shared
+    objects.  Partition events are guarded by ``lock``; plan-cache
+    events land in ``cache`` under the plan cache's own lock.
+    """
+
+    __slots__ = ("lock", "partitions_computed", "partition_hits", "cache")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.partitions_computed = 0
+        self.partition_hits = 0
+        self.cache = CacheCounters()
+
+
 class BatchRunner:
     """Runs many simulation jobs through shared partition/plan caches.
 
@@ -125,8 +147,8 @@ class BatchRunner:
     strategy:
         Partitioner name (``"Nat"`` / ``"DFS"`` / ``"dagP"``).
     limit:
-        Working-set limit; ``None`` derives :func:`default_limit` per
-        circuit width.
+        Working-set limit (``>= 1``); ``None`` — and only ``None`` —
+        derives :func:`default_limit` per circuit width.
     schedule:
         Dispatch order policy (``"fifo"`` or ``"grouped"``; see
         :mod:`repro.serve.scheduler`).
@@ -169,6 +191,11 @@ class BatchRunner:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if limit is not None and limit < 1:
+            raise ValueError(
+                f"limit must be >= 1 (got {limit}); pass None to derive "
+                f"the per-circuit default"
+            )
         order_jobs(schedule, [])  # validate the schedule name early
         self.strategy = strategy
         self.limit = limit
@@ -193,7 +220,10 @@ class BatchRunner:
     # -- partition cache ---------------------------------------------------
 
     def _partition_for(
-        self, circuit: QuantumCircuit, fingerprint: str
+        self,
+        circuit: QuantumCircuit,
+        fingerprint: str,
+        counters: Optional[_RunCounters] = None,
     ) -> Tuple[Partition, bool]:
         """Partition from cache; ``(partition, was_cached)``.
 
@@ -205,10 +235,14 @@ class BatchRunner:
         concurrently: the cache lock only guards the dict, and a
         per-key event makes same-structure followers wait on the one
         computing thread instead of on a global lock.
+
+        ``self.limit`` is honoured whenever set — only ``None`` derives
+        the per-circuit :func:`default_limit` (an explicit small limit
+        such as ``1`` is a real configuration, not "unset").
         """
         limit = (
             self.limit
-            if self.limit
+            if self.limit is not None
             else default_limit(circuit.num_qubits)
         )
         key = (fingerprint, self.strategy, limit)
@@ -217,6 +251,9 @@ class BatchRunner:
                 entry = self._partitions.get(key)
                 if isinstance(entry, Partition):
                     self.partition_hits += 1
+                    if counters is not None:
+                        with counters.lock:
+                            counters.partition_hits += 1
                     return entry, True
                 if entry is None:
                     gate = threading.Event()
@@ -237,17 +274,28 @@ class BatchRunner:
         with self._partition_lock:
             self._partitions[key] = partition
             self.partitions_computed += 1
+        if counters is not None:
+            with counters.lock:
+                counters.partitions_computed += 1
         gate.set()
         return partition, False
 
     # -- execution ---------------------------------------------------------
 
-    def _run_one(self, job: SimJob, fingerprint: str) -> JobResult:
+    def _run_one(
+        self, job: SimJob, fingerprint: str, counters: _RunCounters
+    ) -> JobResult:
         t0 = time.perf_counter()
-        partition, cached = self._partition_for(job.circuit, fingerprint)
+        partition, cached = self._partition_for(
+            job.circuit, fingerprint, counters
+        )
         state = zero_state(job.circuit.num_qubits)
         self._executor.run(
-            job.circuit, partition, state, structural_key=fingerprint
+            job.circuit,
+            partition,
+            state,
+            structural_key=fingerprint,
+            cache_counters=counters.cache,
         )
         counts = None
         if job.shots:
@@ -272,29 +320,68 @@ class BatchRunner:
             expectations=values,
         )
 
-    def run(self, jobs: Sequence[SimJob]) -> BatchReport:
-        """Execute every job; results return in **submission** order."""
+    def _run_one_safe(
+        self, job: SimJob, fingerprint: str, counters: _RunCounters
+    ) -> JobResult:
+        """Run one job, converting any failure into an errored result.
+
+        One bad job (malformed observable, partitioner failure, ...)
+        must not discard the rest of its batch: the daemon serves many
+        tenants through one runner, and a partial batch with per-job
+        ``error`` fields is the contract both the batch CLI and the
+        serving daemon rely on.  Only :class:`Exception` is captured —
+        ``KeyboardInterrupt`` / ``SystemExit`` still propagate.
+        """
         t0 = time.perf_counter()
-        cache = self.plan_cache
-        before = (
-            self.partitions_computed,
-            self.partition_hits,
-            cache.structure_misses,
-            cache.structure_hits,
-            cache.misses,
-        )
+        try:
+            return self._run_one(job, fingerprint, counters)
+        except Exception as exc:
+            return JobResult(
+                job_id=job.job_id,
+                fingerprint=fingerprint,
+                num_qubits=job.circuit.num_qubits,
+                num_gates=len(job.circuit),
+                num_parts=0,
+                seconds=time.perf_counter() - t0,
+                partition_cached=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def run(self, jobs: Sequence[SimJob]) -> BatchReport:
+        """Execute every job; results return in **submission** order.
+
+        Failures are isolated per job: a raising job yields a
+        :class:`~repro.serve.jobs.JobResult` with its ``error`` field
+        set while every other job's result is returned normally.
+        Statistics are accounted per run — concurrent ``run()`` calls
+        on one shared runner each report exactly their own cache
+        traffic (the runner-level ``partitions_computed`` /
+        ``partition_hits`` attributes remain lifetime totals).
+        """
+        t0 = time.perf_counter()
+        counters = _RunCounters()
         fingerprints = [circuit_fingerprint(j.circuit) for j in jobs]
         order = order_jobs(self.schedule, fingerprints)
         results: List[Optional[JobResult]] = [None] * len(jobs)
         if self.workers == 1 or len(jobs) <= 1:
             for i in order:
-                results[i] = self._run_one(jobs[i], fingerprints[i])
+                results[i] = self._run_one_safe(
+                    jobs[i], fingerprints[i], counters
+                )
         else:
             with ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-batch"
             ) as pool:
                 futures = [
-                    (i, pool.submit(self._run_one, jobs[i], fingerprints[i]))
+                    (
+                        i,
+                        pool.submit(
+                            self._run_one_safe,
+                            jobs[i],
+                            fingerprints[i],
+                            counters,
+                        ),
+                    )
                     for i in order
                 ]
                 for i, f in futures:
@@ -302,11 +389,12 @@ class BatchRunner:
         stats = BatchStats(
             num_jobs=len(jobs),
             unique_structures=len(set(fingerprints)),
-            partitions_computed=self.partitions_computed - before[0],
-            partition_hits=self.partition_hits - before[1],
-            structures_compiled=cache.structure_misses - before[2],
-            structure_hits=cache.structure_hits - before[3],
-            plans_bound=cache.misses - before[4],
+            partitions_computed=counters.partitions_computed,
+            partition_hits=counters.partition_hits,
+            structures_compiled=counters.cache.structure_misses,
+            structure_hits=counters.cache.structure_hits,
+            plans_bound=counters.cache.misses,
+            errored=sum(1 for r in results if r is not None and r.error),
             seconds=time.perf_counter() - t0,
             schedule=self.schedule,
         )

@@ -1,0 +1,203 @@
+"""TTL'd in-memory job/result store for the serving daemon.
+
+Every admitted job gets a :class:`JobRecord` tracking its lifecycle
+(``queued`` → ``running`` → ``done`` / ``error``) plus, on completion,
+the manifest-shaped result entry the HTTP layer returns verbatim.
+Finished records expire ``ttl`` seconds after completion — queued and
+running records never expire, so a job cannot vanish mid-flight however
+slow the queue is.  Expiry is enforced lazily on access and by the
+daemon's periodic sweep, keeping a resident server's memory bounded by
+its recent traffic rather than its lifetime traffic.
+
+The store is thread-safe (HTTP handlers read it from the event loop
+while worker threads write), and the clock is injectable so TTL
+behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["JobRecord", "ResultStore"]
+
+#: Lifecycle states a record moves through, in order.
+_STATUSES = ("queued", "running", "done", "error")
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle and (eventually) the result of one submitted job.
+
+    ``result`` is the manifest-shaped entry (as rendered by
+    :func:`repro.serve.results_to_manifest`) once the job finishes;
+    ``error`` is set instead when it failed.  ``finished`` is true for
+    both terminal states.
+
+    >>> rec = JobRecord(handle="b1.j0", batch="b1", client_id="j0",
+    ...                 status="queued", submitted_at=0.0)
+    >>> rec.finished
+    False
+    >>> rec.status = "done"
+    >>> rec.finished
+    True
+    """
+
+    handle: str
+    batch: str
+    client_id: str
+    status: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """True in a terminal state (``done`` or ``error``)."""
+        return self.status in ("done", "error")
+
+    def to_json(self) -> Dict[str, Any]:
+        """The HTTP representation of this record."""
+        out: Dict[str, Any] = {
+            "handle": self.handle,
+            "batch": self.batch,
+            "id": self.client_id,
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class ResultStore:
+    """Thread-safe handle → :class:`JobRecord` map with per-record TTL.
+
+    Parameters
+    ----------
+    ttl:
+        Seconds a *finished* record stays retrievable.  ``0`` (or
+        negative) disables expiry.
+    clock:
+        Monotonic time source; injectable for tests.
+
+    >>> t = [0.0]
+    >>> store = ResultStore(ttl=10.0, clock=lambda: t[0])
+    >>> store.add("b1.j0", batch="b1", client_id="j0").status
+    'queued'
+    >>> store.finish("b1.j0", result={"id": "j0"})
+    >>> store.get("b1.j0").status
+    'done'
+    >>> t[0] = 11.0                      # past the TTL: record is gone
+    >>> store.get("b1.j0") is None
+    True
+    """
+
+    def __init__(
+        self,
+        ttl: float = 300.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._records: Dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self.expired = 0  # lifetime count of records dropped by TTL
+
+    # -- writes ------------------------------------------------------------
+
+    def add(self, handle: str, *, batch: str, client_id: str) -> JobRecord:
+        """Create a ``queued`` record for an admitted job."""
+        record = JobRecord(
+            handle=handle,
+            batch=batch,
+            client_id=client_id,
+            status="queued",
+            submitted_at=self._clock(),
+        )
+        with self._lock:
+            self._records[handle] = record
+        return record
+
+    def mark_running(self, handle: str) -> None:
+        """Transition a record to ``running`` (no-op if unknown)."""
+        with self._lock:
+            record = self._records.get(handle)
+            if record is not None and not record.finished:
+                record.status = "running"
+                record.started_at = self._clock()
+
+    def finish(
+        self,
+        handle: str,
+        *,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Complete a record: ``done`` with a result, or ``error``."""
+        with self._lock:
+            record = self._records.get(handle)
+            if record is None:
+                return
+            record.finished_at = self._clock()
+            if error is not None:
+                record.status = "error"
+                record.error = error
+                record.result = result
+            else:
+                record.status = "done"
+                record.result = result
+
+    def discard(self, handle: str) -> None:
+        """Drop a record outright (e.g. a job abandoned by drain)."""
+        with self._lock:
+            self._records.pop(handle, None)
+
+    # -- reads -------------------------------------------------------------
+
+    def _expired(self, record: JobRecord, now: float) -> bool:
+        return (
+            self.ttl > 0
+            and record.finished
+            and record.finished_at is not None
+            and now - record.finished_at >= self.ttl
+        )
+
+    def get(self, handle: str) -> Optional[JobRecord]:
+        """The record, or ``None`` when unknown or expired."""
+        now = self._clock()
+        with self._lock:
+            record = self._records.get(handle)
+            if record is None:
+                return None
+            if self._expired(record, now):
+                del self._records[handle]
+                self.expired += 1
+                return None
+            return record
+
+    def get_many(self, handles: List[str]) -> List[Optional[JobRecord]]:
+        """:meth:`get` for each handle, preserving order."""
+        return [self.get(h) for h in handles]
+
+    def purge(self) -> int:
+        """Drop every expired record; returns how many were dropped."""
+        now = self._clock()
+        with self._lock:
+            stale = [
+                h for h, r in self._records.items() if self._expired(r, now)
+            ]
+            for h in stale:
+                del self._records[h]
+            self.expired += len(stale)
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

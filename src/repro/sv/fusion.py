@@ -40,6 +40,7 @@ __all__ = [
     "build_part_structure",
     "CompiledPartPlan",
     "PlanCache",
+    "CacheCounters",
     "compile_part",
     "compile_partition",
     "DEFAULT_MAX_FUSED_QUBITS",
@@ -508,6 +509,34 @@ def compile_part(
     )
 
 
+@dataclass
+class CacheCounters:
+    """Per-caller plan-cache accounting, independent of the cache's own.
+
+    A shared :class:`PlanCache` keeps *lifetime* ``hits`` / ``misses``
+    totals; when several batches (or a resident daemon's workers) run
+    concurrently against one cache, before/after deltas of those totals
+    interleave.  Passing a ``CacheCounters`` to
+    :meth:`PlanCache.get_or_compile` / :meth:`PlanCache.get_or_bind`
+    records the same events into a caller-owned object instead, so each
+    run's accounting stays exact however many runs share the cache
+    (increments happen under the cache lock).
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
+    >>> cache, mine = PlanCache(), CacheCounters()
+    >>> _ = cache.get_or_compile(qc, [0, 1], [0, 1], counters=mine)
+    >>> _ = cache.get_or_compile(qc, [0, 1], [0, 1], counters=mine)
+    >>> (mine.hits, mine.misses) == (cache.hits, cache.misses) == (1, 1)
+    True
+    """
+
+    hits: int = 0
+    misses: int = 0
+    structure_hits: int = 0
+    structure_misses: int = 0
+
+
 class PlanCache:
     """Bounded cache of :class:`CompiledPartPlan` keyed by part identity.
 
@@ -571,6 +600,7 @@ class PlanCache:
         *,
         fuse: bool = True,
         max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+        counters: Optional[CacheCounters] = None,
     ) -> CompiledPartPlan:
         key = (
             id(circuit),
@@ -583,9 +613,13 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is not None:
                 self.hits += 1
+                if counters is not None:
+                    counters.hits += 1
                 self._entries.move_to_end(key)
                 return entry[1]
             self.misses += 1
+            if counters is not None:
+                counters.misses += 1
             plan = compile_part(
                 circuit,
                 gate_indices,
@@ -607,6 +641,7 @@ class PlanCache:
         structural_key,
         fuse: bool = True,
         max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+        counters: Optional[CacheCounters] = None,
     ) -> CompiledPartPlan:
         """Plan via the structural layer: reuse structure, bind matrices.
 
@@ -646,16 +681,24 @@ class PlanCache:
             entry = self._entries.get(bound_key)
             if entry is not None:
                 self.hits += 1
+                if counters is not None:
+                    counters.hits += 1
                 self._entries.move_to_end(bound_key)
                 return entry[1]
             self.misses += 1
+            if counters is not None:
+                counters.misses += 1
             sentry = self._entries.get(struct_key)
             if sentry is not None:
                 self.structure_hits += 1
+                if counters is not None:
+                    counters.structure_hits += 1
                 self._entries.move_to_end(struct_key)
                 structure = sentry[1]
             else:
                 self.structure_misses += 1
+                if counters is not None:
+                    counters.structure_misses += 1
                 structure = build_part_structure(
                     circuit,
                     gate_indices,

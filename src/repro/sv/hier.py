@@ -39,7 +39,12 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..partition.base import Partition
 from .backend import ExecutionBackend, resolve_backend
-from .fusion import DEFAULT_MAX_FUSED_QUBITS, CompiledPartPlan, PlanCache
+from .fusion import (
+    DEFAULT_MAX_FUSED_QUBITS,
+    CacheCounters,
+    CompiledPartPlan,
+    PlanCache,
+)
 
 __all__ = ["HierarchicalExecutor", "ExecutionTrace", "pad_working_set"]
 
@@ -183,6 +188,7 @@ class HierarchicalExecutor:
         trace: Optional[ExecutionTrace] = None,
         *,
         structural_key=None,
+        cache_counters: Optional[CacheCounters] = None,
     ) -> np.ndarray:
         """Execute all parts in order against ``state`` (in place).
 
@@ -193,6 +199,11 @@ class HierarchicalExecutor:
         one fusion structure and its gather tables, rebuilding only the
         fused matrices.  Without it, plans are keyed per circuit object
         exactly as before.
+
+        ``cache_counters`` (optional) receives this call's plan-cache
+        hit/miss events (:class:`~repro.sv.fusion.CacheCounters`), so a
+        caller sharing the cache with concurrent runs can still account
+        its own run exactly.
         """
         n = circuit.num_qubits
         if state.shape != (1 << n,):
@@ -213,6 +224,7 @@ class HierarchicalExecutor:
                         structural_key=structural_key,
                         fuse=self.fuse,
                         max_fused_qubits=self.max_fused_qubits,
+                        counters=cache_counters,
                     )
                 else:
                     plan = self.plan_cache.get_or_compile(
@@ -221,6 +233,7 @@ class HierarchicalExecutor:
                         inner_qubits,
                         fuse=self.fuse,
                         max_fused_qubits=self.max_fused_qubits,
+                        counters=cache_counters,
                     )
                 self._run_part(plan, state, n, trace)
         finally:

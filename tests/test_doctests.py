@@ -32,9 +32,12 @@ import repro.partition.multilevel
 import repro.partition.natural
 import repro.partition.validate
 import repro.serve
+import repro.serve.daemon
 import repro.serve.jobs
+import repro.serve.queue
 import repro.serve.runner
 import repro.serve.scheduler
+import repro.serve.store
 import repro.sv
 import repro.sv.backend
 import repro.sv.fusion
@@ -70,6 +73,9 @@ DOCTEST_MODULES = [
     repro.serve.jobs,
     repro.serve.scheduler,
     repro.serve.runner,
+    repro.serve.queue,
+    repro.serve.store,
+    repro.serve.daemon,
 ]
 
 #: Exported names that are plain data (no docstring expected).

@@ -280,6 +280,210 @@ class TestBatchRunner:
 
 
 # ---------------------------------------------------------------------------
+# Regression: explicit limit handling (limit=0 used to mean "unset")
+# ---------------------------------------------------------------------------
+
+
+class TestLimitHandling:
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_limit_rejected_at_construction(self, bad):
+        with pytest.raises(ValueError, match="limit must be >= 1"):
+            BatchRunner(limit=bad)
+
+    def test_none_limit_derives_default(self):
+        report = BatchRunner(limit=None).run(
+            [SimJob("j", qft(6), want_state=True)]
+        )
+        np.testing.assert_allclose(
+            report.results[0].state, flat_state(qft(6)), atol=1e-10, rtol=0
+        )
+
+    def test_explicit_small_limit_is_honoured(self):
+        """A small explicit limit is a real setting, not "unset": it
+        must produce a different (finer) partition than the default."""
+        job = SimJob("j", qft(6), want_state=True)
+        tight = BatchRunner(limit=2, strategy="DFS").run([job])
+        loose = BatchRunner(strategy="DFS").run([SimJob("j", qft(6),
+                                                        want_state=True)])
+        assert tight.results[0].error is None
+        assert tight.results[0].num_parts > loose.results[0].num_parts
+        np.testing.assert_allclose(
+            tight.results[0].state, flat_state(qft(6)), atol=1e-10, rtol=0
+        )
+
+    def test_manifest_limit_zero_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            load_manifest({"limit": 0, "jobs": []})
+        with pytest.raises(ValueError, match="limit"):
+            load_manifest({"limit": -3, "jobs": []})
+        with pytest.raises(ValueError, match="limit"):
+            load_manifest({"limit": "4", "jobs": []})
+
+    def test_manifest_limit_null_and_valid(self):
+        _, options = load_manifest({"limit": None, "jobs": []})
+        assert "limit" not in options
+        _, options = load_manifest({"limit": 4, "jobs": []})
+        assert options == {"limit": 4}
+
+    def test_cli_limit_zero_rejected(self, tmp_path):
+        from repro.cli import main
+
+        manifest_path = tmp_path / "jobs.json"
+        manifest_path.write_text(json.dumps(MANIFEST))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", str(manifest_path), "--limit", "0"])
+        assert excinfo.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# Regression: per-job error isolation (one bad job used to discard all)
+# ---------------------------------------------------------------------------
+
+
+class TestErrorIsolation:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_one_failing_job_returns_partial_batch(self, workers):
+        circuits = sweep_circuits(n=6, jobs=3)
+        jobs = [
+            SimJob(f"g{k}", qc, want_state=True)
+            for k, qc in enumerate(circuits)
+        ]
+        # Observable length mismatches the register: raises at run time.
+        jobs.insert(1, SimJob("bad", qft(6), observables=("ZZZ",)))
+        report = BatchRunner(workers=workers).run(jobs)
+        assert [r.job_id for r in report.results] == [
+            "g0", "bad", "g1", "g2",
+        ]
+        bad = report.results[1]
+        assert bad.error is not None and "ValueError" in bad.error
+        assert bad.state is None and bad.counts is None
+        assert report.stats.errored == 1
+        for job, res in zip(jobs, report.results):
+            if res.error is None:
+                np.testing.assert_allclose(
+                    res.state, flat_state(job.circuit), atol=1e-10, rtol=0
+                )
+
+    def test_error_rendered_in_results_manifest(self):
+        jobs = [
+            SimJob("ok", qft(5), shots=8),
+            SimJob("bad", qft(5), observables=("ZZ",)),  # wrong length
+        ]
+        report = BatchRunner().run(jobs)
+        manifest = results_to_manifest(
+            report.results, stats=vars(report.stats)
+        )
+        entries = manifest["jobs"]
+        assert "error" not in entries[0] and "counts" in entries[0]
+        assert entries[1]["error"].startswith("ValueError")
+        assert "counts" not in entries[1] and "state" not in entries[1]
+        assert manifest["stats"]["errored"] == 1
+        json.dumps(manifest)  # still serialisable
+
+    def test_keyboard_interrupt_still_propagates(self, monkeypatch):
+        runner = BatchRunner()
+        monkeypatch.setattr(
+            runner, "_run_one",
+            lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run([SimJob("j", qft(4))])
+
+
+# ---------------------------------------------------------------------------
+# Regression: per-run stats under concurrent run() calls on one runner
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentRunStats:
+    def test_concurrent_runs_each_report_exact_stats(self):
+        """Two threads sharing one runner (the daemon's normal mode)
+        must each see their own cache accounting, not an interleaved
+        snapshot delta."""
+        import threading
+
+        runner = BatchRunner(schedule="grouped")
+        jobs_a = [
+            SimJob(f"a{k}", qc, want_state=True)
+            for k, qc in enumerate(sweep_circuits(n=6, jobs=6))
+        ]
+        # Distinct objects per job so every job exercises the bind layer.
+        jobs_b = [
+            SimJob(f"b{k}", qft(6).copy(), want_state=True)
+            for k in range(6)
+        ]
+        barrier = threading.Barrier(2)
+        reports = {}
+
+        def go(name, jobs):
+            barrier.wait()
+            reports[name] = runner.run(jobs)
+
+        threads = [
+            threading.Thread(target=go, args=("a", jobs_a)),
+            threading.Thread(target=go, args=("b", jobs_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, jobs in (("a", jobs_a), ("b", jobs_b)):
+            stats = reports[name].stats
+            parts = reports[name].results[0].num_parts
+            assert stats.num_jobs == 6
+            assert stats.unique_structures == 1
+            assert stats.partitions_computed == 1, name
+            assert stats.partition_hits == 5, name
+            assert stats.structures_compiled == parts, name
+            assert stats.structure_hits == 5 * parts, name
+            assert stats.plans_bound == 6 * parts, name
+            for job, res in zip(jobs, reports[name].results):
+                np.testing.assert_allclose(
+                    res.state, flat_state(job.circuit), atol=1e-10, rtol=0
+                )
+
+    def test_lifetime_totals_still_accumulate(self):
+        runner = BatchRunner()
+        runner.run([SimJob("x", qft(5), want_state=True)])
+        runner.run([SimJob("y", qft(5).copy(), want_state=True)])
+        assert runner.partitions_computed == 1
+        assert runner.partition_hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Regression: unknown manifest keys are rejected, with a suggestion
+# ---------------------------------------------------------------------------
+
+
+class TestManifestUnknownKeys:
+    @pytest.mark.parametrize(
+        "typo, suggestion",
+        [
+            ("schedles", "schedule"),
+            ("stragety", "strategy"),
+            ("worker", "workers"),
+            ("bakend", "backend"),
+        ],
+    )
+    def test_typo_names_nearest_option(self, typo, suggestion):
+        with pytest.raises(ValueError) as excinfo:
+            load_manifest({typo: "x", "jobs": []})
+        message = str(excinfo.value)
+        assert typo in message and suggestion in message
+
+    def test_unrelated_key_lists_valid_options(self):
+        with pytest.raises(ValueError) as excinfo:
+            load_manifest({"zzzqqq": 1, "jobs": []})
+        assert "valid keys" in str(excinfo.value)
+
+    def test_known_keys_still_accepted(self):
+        _, options = load_manifest(
+            {"strategy": "DFS", "workers": 2, "jobs": []}
+        )
+        assert options == {"strategy": "DFS", "workers": 2}
+
+
+# ---------------------------------------------------------------------------
 # Sampling and expectation outputs
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,208 @@
+"""Stabilizer tableau vs dense part sweeps on Clifford circuits.
+
+The per-part engine routing's headline claim, quantified: an
+all-Clifford circuit (GHZ / ``cat_state``) routed through the
+stabilizer tableau engine must beat warm dense hierarchical execution
+of the same partition by at least ``10x`` wall-clock — the tableau
+updates ``O(n)`` bitmask rows per gate while the dense path sweeps
+``2^n`` amplitudes per part.
+
+The speedup floor is environment-overridable
+(``REPRO_BENCH_STABILIZER_MIN_SPEEDUP``, default ``10.0``, ``0``
+disables) so CI smoke runs on loaded runners can't flake on the
+acceptance bar; correctness (phase-exact state agreement at ``1e-10``
+and every part routed to the tableau engine) is gated unconditionally.
+
+Also runnable without pytest for CI smoke (shared ``repro.bench``
+flags)::
+
+    python benchmarks/bench_stabilizer.py --set qubits=18
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import bench
+
+from repro.circuits import generators
+from repro.partition import get_partitioner
+from repro.sv import (
+    ExecutionTrace,
+    HierarchicalExecutor,
+    StabilizerState,
+    zero_state,
+)
+
+GHZ_QUBITS = 24
+SMOKE_QUBITS = 18
+
+
+def min_speedup() -> float:
+    """Acceptance floor for the tableau speedup (env-overridable)."""
+    value = os.environ.get("REPRO_BENCH_STABILIZER_MIN_SPEEDUP")
+    return 10.0 if value in (None, "") else float(value)
+
+
+def _build(num_qubits=GHZ_QUBITS, name="cat_state"):
+    qc = generators.build(name, num_qubits)
+    p = get_partitioner("dagP").partition(qc, max(3, num_qubits - 3))
+    return qc, p
+
+
+def run_comparison(num_qubits=GHZ_QUBITS, name="cat_state", verify=True,
+                   warm_repeats=1):
+    """Run the same partition dense and via the tableau, return a dict."""
+    qc, p = _build(num_qubits, name)
+
+    dense_ex = HierarchicalExecutor(method="dense")
+    dense_trace = ExecutionTrace()
+    dense_state = zero_state(qc.num_qubits)
+    # Cold dense run compiles the plans; the quoted dense time is the
+    # warm median so the comparison is sweeps vs tableau, not compilation.
+    cold_stats, _ = bench.measure(
+        lambda: dense_ex.run(qc, p, dense_state, dense_trace), repeats=1
+    )
+    warm_stats, _ = bench.measure(
+        lambda: dense_ex.run(qc, p, zero_state(qc.num_qubits)),
+        repeats=warm_repeats,
+    )
+
+    stab_ex = HierarchicalExecutor(method="auto")
+    stab_trace = ExecutionTrace()
+    stab_stats, stab_state = bench.measure(
+        lambda: stab_ex.run(
+            qc, p, stab_ex.initial_state(qc), ExecutionTrace()
+        ),
+        repeats=max(warm_repeats, 1),
+    )
+    # One traced run for the routing metrics (timing excluded above).
+    stab_state = stab_ex.run(qc, p, stab_ex.initial_state(qc), stab_trace)
+    routed = isinstance(stab_state, StabilizerState)
+
+    err = None
+    if verify and routed:
+        err = float(
+            np.max(np.abs(stab_state.to_dense() - dense_state))
+        )
+    return {
+        "circuit": qc.name,
+        "qubits": qc.num_qubits,
+        "gates": len(qc),
+        "parts": p.num_parts,
+        "dense_sweeps": dense_trace.total_ops,
+        "stabilizer_parts": stab_trace.engine_parts.get("stabilizer", 0),
+        "boundary_conversions": stab_trace.boundary_conversions,
+        "routed": routed,
+        "dense_cold_s": cold_stats.min,
+        "dense_warm_s": warm_stats.median,
+        "stabilizer_s": stab_stats.median,
+        "speedup": warm_stats.median / max(stab_stats.median, 1e-12),
+        "max_err": err,
+    }
+
+
+def render(res) -> str:
+    lines = [
+        f"Stabilizer fast path — {res['circuit']} "
+        f"(parts={res['parts']}, gates={res['gates']})",
+        f"{'dense warm':>12} {res['dense_warm_s']:>10.4f} s "
+        f"({res['dense_sweeps']} sweeps over 2^{res['qubits']} amplitudes)",
+        f"{'tableau':>12} {res['stabilizer_s']:>10.4f} s "
+        f"({res['stabilizer_parts']} parts routed, "
+        f"{res['boundary_conversions']} boundary conversions)",
+        f"speedup: {res['speedup']:.1f}x",
+    ]
+    if res["max_err"] is not None:
+        lines.append(f"max |tableau - dense| = {res['max_err']:.3e}")
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+
+def test_ghz_stabilizer_speedup(save_result):
+    """Acceptance: tableau beats warm dense by >= 10x on the GHZ
+    benchmark, phase-exactly (floor overridable via
+    REPRO_BENCH_STABILIZER_MIN_SPEEDUP; 0 disables the timing bar)."""
+    res = run_comparison(SMOKE_QUBITS)
+    assert res["routed"], "all-Clifford circuit did not route to tableau"
+    assert res["stabilizer_parts"] == res["parts"]
+    assert res["boundary_conversions"] == 0
+    assert res["max_err"] is not None and res["max_err"] < 1e-10
+    floor = min_speedup()
+    if floor:
+        assert res["speedup"] >= floor, (
+            f"tableau speedup {res['speedup']:.1f}x below floor {floor}x"
+        )
+    save_result("bench_stabilizer_ghz", render(res))
+
+
+def test_stabilizer_execution(benchmark):
+    qc, p = _build(SMOKE_QUBITS)
+    ex = HierarchicalExecutor(method="auto")
+    benchmark(lambda: ex.run(qc, p, ex.initial_state(qc)))
+
+
+# -- repro.bench registration and standalone entry point ---------------------
+
+
+@bench.register(
+    "stabilizer",
+    tags=("smoke", "accept"),
+    params={
+        "qubits": GHZ_QUBITS,
+        "circuit": "cat_state",
+        "verify": True,
+        "warm_repeats": 1,
+    },
+    smoke={"qubits": SMOKE_QUBITS},
+    repeats=1,
+    warmup=0,
+)
+def run_bench(params):
+    """Stabilizer tableau vs warm dense execution on an all-Clifford GHZ."""
+    res = run_comparison(
+        params["qubits"],
+        params["circuit"],
+        verify=params["verify"],
+        warm_repeats=params["warm_repeats"],
+    )
+    states_match = res["max_err"] is None or res["max_err"] < 1e-10
+    routed_all = (
+        res["routed"]
+        and res["stabilizer_parts"] == res["parts"]
+        and res["boundary_conversions"] == 0
+    )
+    floor = min_speedup()
+    return bench.payload(
+        metrics={
+            "qubits": res["qubits"],
+            "parts": res["parts"],
+            "gates": res["gates"],
+            "dense_sweeps": res["dense_sweeps"],
+            "stabilizer_parts": res["stabilizer_parts"],
+            "boundary_conversions": res["boundary_conversions"],
+            "routed_all_stabilizer": routed_all,
+            "states_match": states_match,
+        },
+        info={
+            "dense_cold_s": res["dense_cold_s"],
+            "dense_warm_s": res["dense_warm_s"],
+            "stabilizer_s": res["stabilizer_s"],
+            "speedup": res["speedup"],
+            "max_err": res["max_err"],
+        },
+        ok=states_match and routed_all
+        and (not floor or res["speedup"] >= floor),
+    )
+
+
+def main(argv=None) -> int:
+    return bench.script_main("stabilizer", argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

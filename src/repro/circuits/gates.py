@@ -219,6 +219,13 @@ class GateDef:
     num_controls:
         Leading operands acting as controls (distributed simulators use
         control/target structure for communication-avoiding fast paths).
+    clifford:
+        True when every parameterisation maps Paulis to Paulis under
+        conjugation.  This is the single source of truth for plan-time
+        method routing: a part whose gates are all Clifford may execute
+        on a stabilizer tableau instead of the dense state vector.
+        Parameterised gates are never Clifford here (special angles such
+        as ``rz(pi/2)`` exist but are not detectable from the definition).
     """
 
     name: str
@@ -227,34 +234,36 @@ class GateDef:
     factory: Callable[..., np.ndarray]
     diagonal: bool = False
     num_controls: int = 0
+    clifford: bool = False
 
 
-def _def(name, nq, npar, factory, diagonal=False, controls=0) -> GateDef:
-    return GateDef(name, nq, npar, factory, diagonal, controls)
+def _def(name, nq, npar, factory, diagonal=False, controls=0, clifford=False) -> GateDef:
+    return GateDef(name, nq, npar, factory, diagonal, controls, clifford)
 
 
 GATE_DEFS: Dict[str, GateDef] = {
     d.name: d
     for d in [
-        _def("id", 1, 0, _id, diagonal=True),
-        _def("x", 1, 0, _x),
-        _def("y", 1, 0, _y),
-        _def("z", 1, 0, _z, diagonal=True),
-        _def("h", 1, 0, _h),
-        _def("s", 1, 0, _s, diagonal=True),
-        _def("sdg", 1, 0, _sdg, diagonal=True),
+        _def("id", 1, 0, _id, diagonal=True, clifford=True),
+        _def("x", 1, 0, _x, clifford=True),
+        _def("y", 1, 0, _y, clifford=True),
+        _def("z", 1, 0, _z, diagonal=True, clifford=True),
+        _def("h", 1, 0, _h, clifford=True),
+        _def("s", 1, 0, _s, diagonal=True, clifford=True),
+        _def("sdg", 1, 0, _sdg, diagonal=True, clifford=True),
         _def("t", 1, 0, _t, diagonal=True),
         _def("tdg", 1, 0, _tdg, diagonal=True),
-        _def("sx", 1, 0, _sx),
+        _def("sx", 1, 0, _sx, clifford=True),
         _def("rx", 1, 1, _rx),
         _def("ry", 1, 1, _ry),
         _def("rz", 1, 1, _rz, diagonal=True),
         _def("u1", 1, 1, _u1, diagonal=True),
         _def("u2", 1, 2, _u2),
         _def("u3", 1, 3, _u3),
-        _def("cx", 2, 0, lambda: controlled(_x()), controls=1),
-        _def("cy", 2, 0, lambda: controlled(_y()), controls=1),
-        _def("cz", 2, 0, lambda: controlled(_z()), diagonal=True, controls=1),
+        _def("cx", 2, 0, lambda: controlled(_x()), controls=1, clifford=True),
+        _def("cy", 2, 0, lambda: controlled(_y()), controls=1, clifford=True),
+        _def("cz", 2, 0, lambda: controlled(_z()), diagonal=True, controls=1,
+             clifford=True),
         _def("ch", 2, 0, lambda: controlled(_h()), controls=1),
         _def("crx", 2, 1, lambda th: controlled(_rx(th)), controls=1),
         _def("cry", 2, 1, lambda th: controlled(_ry(th)), controls=1),
@@ -267,8 +276,8 @@ GATE_DEFS: Dict[str, GateDef] = {
             lambda th, ph, lam: controlled(_u3(th, ph, lam)),
             controls=1,
         ),
-        _def("swap", 2, 0, _swap),
-        _def("iswap", 2, 0, _iswap),
+        _def("swap", 2, 0, _swap, clifford=True),
+        _def("iswap", 2, 0, _iswap, clifford=True),
         _def("rzz", 2, 1, _rzz, diagonal=True),
         _def("ccx", 3, 0, lambda: controlled(_x(), 2), controls=2),
         _def("ccz", 3, 0, lambda: controlled(_z(), 2), diagonal=True, controls=2),
@@ -316,6 +325,11 @@ class Gate:
     @property
     def is_diagonal(self) -> bool:
         return GATE_DEFS[self.name].diagonal
+
+    @property
+    def is_clifford(self) -> bool:
+        """True when this gate normalises the Pauli group (any params)."""
+        return GATE_DEFS[self.name].clifford
 
     @property
     def num_controls(self) -> int:

@@ -25,6 +25,8 @@ from .qaoa import qaoa
 from .qft import qft
 from .qnn import qnn
 from .qpe import qpe
+from .stabilizer_random import stabilizer_random
+from .syndrome import syndrome
 
 __all__ = [
     "adder",
@@ -37,6 +39,8 @@ __all__ = [
     "qft",
     "qnn",
     "qpe",
+    "stabilizer_random",
+    "syndrome",
     "build",
     "paper_suite",
     "GENERATORS",
@@ -54,6 +58,8 @@ GENERATORS: Dict[str, Callable[..., QuantumCircuit]] = {
     "grover": grover,
     "qpe": qpe,
     "adder": adder,
+    "stabilizer_random": stabilizer_random,
+    "syndrome": syndrome,
 }
 
 # Paper Table I widths. ``scale`` shrinks widths while keeping the ordering

@@ -94,23 +94,26 @@ def _simulate(args) -> int:
     from .circuits import generators
     from .partition import get_partitioner
     from .partition.metrics import evaluate_partition
-    from .sv import ExecutionTrace, HierarchicalExecutor, zero_state
+    from .sv import ExecutionTrace, HierarchicalExecutor
     from .sv.simulator import StateVectorSimulator
+
+    from .sv.stabilizer import StabilizerState
 
     qc = generators.build(args.name, args.qubits)
     limit = args.limit or max(3, args.qubits - 3)
     p = get_partitioner(args.strategy).partition(qc, limit)
     trace = ExecutionTrace()
-    state = zero_state(qc.num_qubits)
     executor = HierarchicalExecutor(
         pad_to=args.pad_to,
         fuse=args.fuse,
         max_fused_qubits=args.max_fused_qubits,
         backend=args.backend,
         threads=args.threads,
+        method=args.method,
     )
+    state = executor.initial_state(qc)
     t0 = time.perf_counter()
-    executor.run(qc, p, state, trace=trace)
+    state = executor.run(qc, p, state, trace=trace)
     elapsed = time.perf_counter() - t0
     m = evaluate_partition(qc, p, max_fused_qubits=args.max_fused_qubits)
     print(
@@ -123,6 +126,17 @@ def _simulate(args) -> int:
         f"sweeps={trace.total_ops} of {trace.total_gates} gate sweeps "
         f"(saved {trace.sweeps_saved})"
     )
+    parts_by_engine = ", ".join(
+        f"{name}: {count}" for name, count in trace.engine_parts.items()
+    )
+    print(
+        f"method={executor.method} (parts by engine: {parts_by_engine})"
+        + (
+            f" boundary conversions={trace.boundary_conversions}"
+            if trace.boundary_conversions
+            else ""
+        )
+    )
     parts_by_backend = ", ".join(
         f"{name}: {count}" for name, count in trace.backend_parts.items()
     )
@@ -133,10 +147,25 @@ def _simulate(args) -> int:
     )
     print(m.summary())
     print(f"executed in {elapsed:.3f}s")
+    if isinstance(state, StabilizerState):
+        print(
+            f"final state: stabilizer tableau, support 2^"
+            f"{state.support_rank} of 2^{qc.num_qubits} basis states, "
+            f"|amp(0)|^2 = {abs(state.amplitude(0)) ** 2:.6f}"
+        )
     if args.verify:
+        target = state
+        if isinstance(target, StabilizerState):
+            if qc.num_qubits > 24:
+                print(
+                    "verify skipped: dense cross-check would materialise "
+                    f"2^{qc.num_qubits} amplitudes"
+                )
+                return 0
+            target = target.to_dense()
         sim = StateVectorSimulator(qc.num_qubits)
         sim.run(qc)
-        err = float(np.max(np.abs(state - sim.state)))
+        err = float(np.max(np.abs(target - sim.state)))
         print(f"max |fused - flat| = {err:.3e}")
         if err > 1e-10:
             print("VERIFICATION FAILED")
@@ -160,6 +189,7 @@ def _batch(args) -> int:
         ("workers", args.workers),
         ("backend", args.backend),
         ("threads", args.threads),
+        ("method", args.method),
     ):
         if value is not None:
             options[key] = value
@@ -210,6 +240,7 @@ def _serve(args) -> int:
         backend=args.backend,
         threads=args.threads,
         fuse=args.fuse,
+        method=args.method,
     )
     ServeDaemon(config).run()
     print("repro serve drained cleanly")
@@ -295,6 +326,11 @@ def main(argv=None) -> int:
     p_sim.add_argument("--pad-to", type=int, default=0,
                        help="pad part working sets to this many qubits "
                             "(default: 0 = no padding)")
+    p_sim.add_argument("--method", default=None,
+                       choices=["auto", "dense", "stabilizer"],
+                       help="simulation method: auto routes all-Clifford "
+                            "circuits to the stabilizer tableau engine "
+                            "(default: REPRO_METHOD, else auto)")
     p_sim.add_argument("--verify", action="store_true",
                        help="cross-check against the flat simulator")
 
@@ -327,6 +363,10 @@ def main(argv=None) -> int:
                               "else serial)")
     p_batch.add_argument("--threads", type=int, default=None,
                          help="backend worker count (default: REPRO_THREADS)")
+    p_batch.add_argument("--method", default=None,
+                         choices=["auto", "dense", "stabilizer"],
+                         help="simulation method (default: REPRO_METHOD, "
+                              "else auto)")
     p_batch.add_argument("--fuse", dest="fuse", action="store_true",
                          default=None, help="force fusion on")
     p_batch.add_argument("--no-fuse", dest="fuse", action="store_false",
@@ -377,6 +417,10 @@ def main(argv=None) -> int:
     p_serve.add_argument("--threads", type=int, default=None,
                          help="backend worker count (default: "
                               "REPRO_THREADS)")
+    p_serve.add_argument("--method", default=None,
+                         choices=["auto", "dense", "stabilizer"],
+                         help="simulation method (default: REPRO_METHOD, "
+                              "else auto)")
     p_serve.add_argument("--fuse", dest="fuse", action="store_true",
                          default=None, help="force fusion on")
     p_serve.add_argument("--no-fuse", dest="fuse", action="store_false",

@@ -109,6 +109,7 @@ class ServeConfig:
     pad_to: int = 0
     backend: Union[None, str, ExecutionBackend] = None
     threads: Optional[int] = None
+    method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -175,6 +176,7 @@ class ServeDaemon:
             pad_to=self.config.pad_to,
             backend=self.config.backend,
             threads=self.config.threads,
+            method=self.config.method,
         )
         self._queue = AdmissionQueue(
             self.config.queue_limit, retry_after=self.config.retry_after
@@ -469,6 +471,9 @@ class ServeDaemon:
             "pad_to": self.config.pad_to,
             "backend": self.config.backend,
             "threads": self.config.threads,
+            # Compare against the *resolved* policy so a manifest naming
+            # the effective default (e.g. method: "auto") is accepted.
+            "method": self._runner.method,
             "workers": 1,
         }
         for key, value in options.items():
@@ -586,6 +591,7 @@ class ServeDaemon:
     def _healthz(self) -> Dict[str, Any]:
         return {
             "status": "draining" if self._draining else "ok",
+            "method": self._runner.method,
             "uptime_seconds": (
                 0.0 if self._started_at is None
                 else time.monotonic() - self._started_at
@@ -627,6 +633,11 @@ class ServeDaemon:
                 "plan_misses": cache.misses,
                 "structures_compiled": cache.structure_misses,
                 "structure_hits": cache.structure_hits,
+                "method": self._runner.method,
+                "parts_routed_dense": self._runner.parts_routed_dense,
+                "parts_routed_stabilizer": (
+                    self._runner.parts_routed_stabilizer
+                ),
             },
         }
 

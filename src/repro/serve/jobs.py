@@ -47,6 +47,7 @@ _RUNNER_OPTION_KEYS = (
     "pad_to",
     "backend",
     "threads",
+    "method",
     "workers",
 )
 

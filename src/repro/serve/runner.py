@@ -33,9 +33,10 @@ from ..partition import get_partitioner
 from ..partition.base import Partition
 from ..sv.backend import ExecutionBackend
 from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, CacheCounters, PlanCache
-from ..sv.hier import HierarchicalExecutor
+from ..sv.hier import ExecutionTrace, HierarchicalExecutor
 from ..sv.pauli import expectations
-from ..sv.simulator import sample_counts, zero_state
+from ..sv.simulator import sample_counts
+from ..sv.stabilizer import StabilizerState
 from .jobs import JobResult, SimJob, circuit_fingerprint
 from .scheduler import order_jobs
 
@@ -85,6 +86,8 @@ class BatchStats:
     errored: int = 0
     seconds: float = 0.0
     schedule: str = "fifo"
+    parts_routed_dense: int = 0
+    parts_routed_stabilizer: int = 0
 
     def summary(self) -> str:
         """One-line human-readable digest."""
@@ -96,6 +99,12 @@ class BatchStats:
             f"plan structures {self.structures_compiled} compiled / "
             f"{self.structure_hits} reused, "
             f"{self.plans_bound} matrix binds"
+            + (
+                f", parts routed {self.parts_routed_dense} dense / "
+                f"{self.parts_routed_stabilizer} stabilizer"
+                if self.parts_routed_stabilizer
+                else ""
+            )
             + (f", {self.errored} errored" if self.errored else "")
         )
 
@@ -130,13 +139,22 @@ class _RunCounters:
     events land in ``cache`` under the plan cache's own lock.
     """
 
-    __slots__ = ("lock", "partitions_computed", "partition_hits", "cache")
+    __slots__ = (
+        "lock",
+        "partitions_computed",
+        "partition_hits",
+        "cache",
+        "parts_routed_dense",
+        "parts_routed_stabilizer",
+    )
 
     def __init__(self) -> None:
         self.lock = threading.Lock()
         self.partitions_computed = 0
         self.partition_hits = 0
         self.cache = CacheCounters()
+        self.parts_routed_dense = 0
+        self.parts_routed_stabilizer = 0
 
 
 class BatchRunner:
@@ -156,9 +174,11 @@ class BatchRunner:
         Concurrent jobs. ``1`` (default) dispatches sequentially in
         schedule order; ``> 1`` uses a thread pool (results and caches
         stay deterministic — only timing changes).
-    fuse, max_fused_qubits, mode, pad_to, backend, threads:
+    fuse, max_fused_qubits, mode, pad_to, backend, threads, method:
         Forwarded to the underlying
-        :class:`~repro.sv.hier.HierarchicalExecutor`.
+        :class:`~repro.sv.hier.HierarchicalExecutor` (``method`` is the
+        engine-routing policy — ``auto`` / ``dense`` / ``stabilizer``,
+        ``None`` follows ``REPRO_METHOD``).
     plan_cache:
         Optional shared :class:`~repro.sv.fusion.PlanCache`; pass one to
         share compiled structures with other runners or executors.
@@ -187,6 +207,7 @@ class BatchRunner:
         pad_to: int = 0,
         backend: Union[None, str, ExecutionBackend] = None,
         threads: Optional[int] = None,
+        method: Optional[str] = None,
         plan_cache: Optional[PlanCache] = None,
     ) -> None:
         if workers < 1:
@@ -210,12 +231,20 @@ class BatchRunner:
             plan_cache=self.plan_cache,
             backend=backend,
             threads=threads,
+            method=method,
         )
         # Key -> Partition, or a threading.Event while one worker computes.
         self._partitions: Dict[Tuple[str, str, int], object] = {}
         self._partition_lock = threading.Lock()
         self.partition_hits = 0
         self.partitions_computed = 0
+        self.parts_routed_dense = 0
+        self.parts_routed_stabilizer = 0
+
+    @property
+    def method(self) -> str:
+        """The resolved engine-routing policy this runner executes with."""
+        return self._executor.method
 
     # -- partition cache ---------------------------------------------------
 
@@ -289,14 +318,29 @@ class BatchRunner:
         partition, cached = self._partition_for(
             job.circuit, fingerprint, counters
         )
-        state = zero_state(job.circuit.num_qubits)
-        self._executor.run(
+        trace = ExecutionTrace()
+        state = self._executor.run(
             job.circuit,
             partition,
-            state,
+            self._executor.initial_state(job.circuit),
+            trace,
             structural_key=fingerprint,
             cache_counters=counters.cache,
         )
+        routed_dense = trace.engine_parts.get("dense", 0)
+        routed_stab = trace.engine_parts.get("stabilizer", 0)
+        with counters.lock:
+            counters.parts_routed_dense += routed_dense
+            counters.parts_routed_stabilizer += routed_stab
+        with self._partition_lock:
+            self.parts_routed_dense += routed_dense
+            self.parts_routed_stabilizer += routed_stab
+        if isinstance(state, StabilizerState) and (
+            job.want_state or job.shots or job.observables
+        ):
+            # Job outputs are amplitude-level; materialise the tableau
+            # (refuses above 30 qubits — isolated per job like any error).
+            state = state.to_dense()
         counts = None
         if job.shots:
             counts = sample_counts(
@@ -397,5 +441,7 @@ class BatchRunner:
             errored=sum(1 for r in results if r is not None and r.error),
             seconds=time.perf_counter() - t0,
             schedule=self.schedule,
+            parts_routed_dense=counters.parts_routed_dense,
+            parts_routed_stabilizer=counters.parts_routed_stabilizer,
         )
         return BatchReport(results=results, stats=stats)  # type: ignore[arg-type]

@@ -55,7 +55,9 @@ DIAGONAL_BONUS_QUBITS = 2
 class FusionGroup:
     """One fusion group: member positions (in the source gate list, in
     original order), the union working set in first-seen operand order,
-    and whether every member is diagonal.
+    whether every member is diagonal, and whether every member is
+    Clifford (detected from ``GateDef.clifford`` — the group-level
+    capability the executor routes engines on).
 
     >>> FusionGroup(members=(0, 2), qubits=(1, 3), diagonal=False).qubits
     (1, 3)
@@ -64,6 +66,7 @@ class FusionGroup:
     members: Tuple[int, ...]
     qubits: Tuple[int, ...]
     diagonal: bool
+    clifford: bool = False
 
 
 def plan_fusion_groups(
@@ -95,6 +98,7 @@ def plan_fusion_groups(
     qubit_order: List[List[int]] = []  # first-seen operand order per group
     qubit_sets: List[set] = []
     all_diag: List[bool] = []
+    all_cliff: List[bool] = []
     last_group_of: Dict[int, int] = {}
 
     for i, g in enumerate(gates):
@@ -120,6 +124,7 @@ def plan_fusion_groups(
             qubit_order.append([])
             qubit_sets.append(set())
             all_diag.append(True)
+            all_cliff.append(True)
             placed = len(members) - 1
         members[placed].append(i)
         for q in g.qubits:
@@ -128,10 +133,11 @@ def plan_fusion_groups(
                 qubit_order[placed].append(q)
             last_group_of[q] = placed
         all_diag[placed] = all_diag[placed] and g.is_diagonal
+        all_cliff[placed] = all_cliff[placed] and g.is_clifford
 
     return [
-        FusionGroup(tuple(m), tuple(qs), d)
-        for m, qs, d in zip(members, qubit_order, all_diag)
+        FusionGroup(tuple(m), tuple(qs), d, c)
+        for m, qs, d, c in zip(members, qubit_order, all_diag, all_cliff)
     ]
 
 
@@ -312,6 +318,17 @@ class PartPlanStructure:
     def num_ops(self) -> int:
         return len(self.groups)
 
+    @property
+    def clifford(self) -> bool:
+        """True when every fusion group (hence every source gate) is
+        Clifford — the plan-time capability engine routing keys on.
+
+        Derived from the groups, never stored, so it is *not* part of
+        any :class:`PlanCache` key: capability is a consequence of
+        structure, and identical structures always agree on it.
+        """
+        return all(g.clifford for g in self.groups)
+
     def gather_table(self, num_qubits: int) -> np.ndarray:
         """Algorithm-1 gather table for this working set (small ones cached).
 
@@ -395,7 +412,7 @@ def build_part_structure(
         )
     else:
         groups = [
-            FusionGroup((i,), g.qubits, g.is_diagonal)
+            FusionGroup((i,), g.qubits, g.is_diagonal, g.is_clifford)
             for i, g in enumerate(gates)
         ]
     return PartPlanStructure(
@@ -460,6 +477,13 @@ class CompiledPartPlan:
     def sweeps_saved(self) -> int:
         """Kernel sweeps avoided relative to one sweep per source gate."""
         return self.num_source_gates - self.num_ops
+
+    @property
+    def clifford(self) -> bool:
+        """Part capability: True when every source gate is Clifford
+        (delegates to the structure — see
+        :attr:`PartPlanStructure.clifford`)."""
+        return self.structure.clifford
 
     def local_ops(self) -> Tuple[FusedGate, ...]:
         """Ops with operands renamed to inner positions (cached)."""

@@ -26,6 +26,15 @@ Where the sweeps run is delegated to an
 :class:`~repro.sv.backend.ExecutionBackend` (``backend=``): serial (the
 default), threaded row-block parallelism, or shared-memory worker
 processes — all bit-identical to each other by construction.
+
+*What* runs them is a per-part engine decision (``method=``): dense
+gather-matrix sweeps by default, or the
+:class:`~repro.sv.engine.StabilizerEngine` tableau fast path for
+Clifford-only parts when the state is a
+:class:`~repro.sv.stabilizer.StabilizerState` (see
+:meth:`HierarchicalExecutor.initial_state`).  ``method="auto"`` keeps
+dense inputs on the exact pre-routing path — bit-identical — and only
+all-Clifford circuits start in tableau form.
 """
 
 from __future__ import annotations
@@ -39,12 +48,19 @@ import numpy as np
 from ..circuits.circuit import QuantumCircuit
 from ..partition.base import Partition
 from .backend import ExecutionBackend, resolve_backend
+from .engine import (
+    DenseSVEngine,
+    StabilizerEngine,
+    StabilizerPartPlan,
+    resolve_method,
+)
 from .fusion import (
     DEFAULT_MAX_FUSED_QUBITS,
     CacheCounters,
     CompiledPartPlan,
     PlanCache,
 )
+from .stabilizer import StabilizerState, is_clifford_circuit
 
 __all__ = ["HierarchicalExecutor", "ExecutionTrace", "pad_working_set"]
 
@@ -60,6 +76,12 @@ class ExecutionTrace:
     and ``backend_parts`` counts parts per backend identity (e.g.
     ``{"threaded[4]": 3}``), so a run's parallel coverage is auditable.
 
+    Engine routing is accounted the same way: ``part_engines`` records
+    the engine that executed each part (``"dense"`` / ``"stabilizer"``),
+    ``engine_parts`` totals parts per engine, and
+    ``boundary_conversions`` counts tableau→dense materialisations at
+    Clifford/non-Clifford part boundaries.
+
     >>> trace = ExecutionTrace(part_gates=[10, 6], part_ops=[3, 2])
     >>> trace.num_parts, trace.total_gates, trace.sweeps_saved
     (2, 16, 11)
@@ -72,6 +94,9 @@ class ExecutionTrace:
     backend_parts: Dict[str, int] = field(default_factory=dict)
     gather_elements: int = 0
     scatter_elements: int = 0
+    part_engines: List[str] = field(default_factory=list)
+    engine_parts: Dict[str, int] = field(default_factory=dict)
+    boundary_conversions: int = 0
 
     @property
     def num_parts(self) -> int:
@@ -158,6 +183,12 @@ class HierarchicalExecutor:
     threads:
         Worker count for a backend resolved by name/environment
         (default: ``REPRO_THREADS`` or the machine's core count).
+    method:
+        Simulation method — ``"auto"`` / ``"dense"`` / ``"stabilizer"``,
+        or ``None`` to follow ``REPRO_METHOD`` (default ``auto``).  The
+        method decides what :meth:`initial_state` hands out; :meth:`run`
+        itself routes on the *state representation*, so dense arrays
+        always take the exact pre-routing path.
     """
 
     def __init__(
@@ -170,6 +201,7 @@ class HierarchicalExecutor:
         plan_cache: Optional[PlanCache] = None,
         backend: Union[None, str, ExecutionBackend] = None,
         threads: Optional[int] = None,
+        method: Optional[str] = None,
     ) -> None:
         if mode not in ("batched", "literal"):
             raise ValueError("mode must be 'batched' or 'literal'")
@@ -179,18 +211,51 @@ class HierarchicalExecutor:
         self.max_fused_qubits = int(max_fused_qubits)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.backend = resolve_backend(backend, threads)
+        self.method = resolve_method(method)
+        self._dense_engine = DenseSVEngine(self.backend)
+        self._stabilizer_engine = StabilizerEngine()
+
+    def initial_state(
+        self, circuit: QuantumCircuit
+    ) -> Union[np.ndarray, "StabilizerState"]:
+        """The ``|0…0>`` state in the representation this run should use.
+
+        ``method="dense"`` always yields a dense array;
+        ``method="stabilizer"`` always yields a tableau (hybrid runs
+        convert at the first non-Clifford part); ``method="auto"``
+        yields a tableau only when *every* gate of the circuit is
+        Clifford — so non-Clifford workloads get a dense array and run
+        bit-identically to the pre-routing executor — and never
+        allocates ``2^n`` amplitudes for all-Clifford circuits.
+        """
+        if self.method == "stabilizer":
+            return StabilizerState(circuit.num_qubits)
+        if self.method == "auto" and is_clifford_circuit(circuit.gates):
+            return StabilizerState(circuit.num_qubits)
+        from .simulator import zero_state
+
+        return zero_state(circuit.num_qubits)
 
     def run(
         self,
         circuit: QuantumCircuit,
         partition: Partition,
-        state: np.ndarray,
+        state: Union[np.ndarray, StabilizerState],
         trace: Optional[ExecutionTrace] = None,
         *,
         structural_key=None,
         cache_counters: Optional[CacheCounters] = None,
-    ) -> np.ndarray:
-        """Execute all parts in order against ``state`` (in place).
+    ) -> Union[np.ndarray, StabilizerState]:
+        """Execute all parts in order against ``state``.
+
+        A dense ``state`` is mutated in place and returned, exactly as
+        before engine routing existed.  A
+        :class:`~repro.sv.stabilizer.StabilizerState` (from
+        :meth:`initial_state`) routes Clifford parts through the
+        tableau engine; at the first non-Clifford part the tableau is
+        materialised to dense amplitudes (counted in
+        ``trace.boundary_conversions``) and the remainder runs dense —
+        the return value is then the dense array, not the input object.
 
         ``structural_key`` (optional) routes plan lookup through the
         plan cache's structural layer: pass a fingerprint of the
@@ -206,41 +271,103 @@ class HierarchicalExecutor:
         its own run exactly.
         """
         n = circuit.num_qubits
-        if state.shape != (1 << n,):
-            raise ValueError("state length mismatch")
         if partition.num_qubits != n or partition.num_gates != len(circuit):
             raise ValueError("partition does not describe this circuit")
+        if isinstance(state, StabilizerState):
+            if state.num_qubits != n:
+                raise ValueError("state width mismatch")
+            return self._run_hybrid(
+                circuit, partition, state, trace, structural_key, cache_counters
+            )
+        if state.shape != (1 << n,):
+            raise ValueError("state length mismatch")
         self.backend.begin_run(state)
         try:
             for part in partition.parts:
-                inner_qubits = part.qubits
-                if self.pad_to:
-                    inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
-                if structural_key is not None:
-                    plan = self.plan_cache.get_or_bind(
-                        circuit,
-                        part.gate_indices,
-                        inner_qubits,
-                        structural_key=structural_key,
-                        fuse=self.fuse,
-                        max_fused_qubits=self.max_fused_qubits,
-                        counters=cache_counters,
-                    )
-                else:
-                    plan = self.plan_cache.get_or_compile(
-                        circuit,
-                        part.gate_indices,
-                        inner_qubits,
-                        fuse=self.fuse,
-                        max_fused_qubits=self.max_fused_qubits,
-                        counters=cache_counters,
-                    )
+                plan = self._dense_plan(
+                    circuit, part, n, structural_key, cache_counters
+                )
                 self._run_part(plan, state, n, trace)
         finally:
             self.backend.end_run(state)
         return state
 
     # -- internals --------------------------------------------------------
+
+    def _dense_plan(
+        self, circuit, part, n, structural_key, cache_counters
+    ) -> CompiledPartPlan:
+        inner_qubits = part.qubits
+        if self.pad_to:
+            inner_qubits = pad_working_set(inner_qubits, n, self.pad_to)
+        if structural_key is not None:
+            return self.plan_cache.get_or_bind(
+                circuit,
+                part.gate_indices,
+                inner_qubits,
+                structural_key=structural_key,
+                fuse=self.fuse,
+                max_fused_qubits=self.max_fused_qubits,
+                counters=cache_counters,
+            )
+        return self.plan_cache.get_or_compile(
+            circuit,
+            part.gate_indices,
+            inner_qubits,
+            fuse=self.fuse,
+            max_fused_qubits=self.max_fused_qubits,
+            counters=cache_counters,
+        )
+
+    def _run_hybrid(
+        self,
+        circuit: QuantumCircuit,
+        partition: Partition,
+        state: StabilizerState,
+        trace: Optional[ExecutionTrace],
+        structural_key,
+        cache_counters: Optional[CacheCounters],
+    ) -> Union[np.ndarray, StabilizerState]:
+        """Tableau for the Clifford part prefix, dense for the rest."""
+        n = circuit.num_qubits
+        current: Union[np.ndarray, StabilizerState] = state
+        materialized = False
+        try:
+            for part in partition.parts:
+                gates = [circuit[g] for g in part.gate_indices]
+                if not materialized and is_clifford_circuit(gates):
+                    plan = StabilizerPartPlan.from_gates(part.qubits, gates)
+                    t0 = time.perf_counter()
+                    self._stabilizer_engine.apply_part(
+                        current, plan, n, self.mode
+                    )
+                    elapsed = time.perf_counter() - t0
+                    if trace is not None:
+                        trace.part_qubits.append(tuple(part.qubits))
+                        trace.part_gates.append(plan.num_source_gates)
+                        trace.part_ops.append(plan.num_ops)
+                        trace.part_seconds.append(elapsed)
+                        self._record_engine(trace, "stabilizer")
+                    continue
+                if not materialized:
+                    current = current.to_dense()
+                    materialized = True
+                    if trace is not None:
+                        trace.boundary_conversions += 1
+                    self.backend.begin_run(current)
+                plan = self._dense_plan(
+                    circuit, part, n, structural_key, cache_counters
+                )
+                self._run_part(plan, current, n, trace)
+        finally:
+            if materialized:
+                self.backend.end_run(current)
+        return current
+
+    @staticmethod
+    def _record_engine(trace: ExecutionTrace, name: str) -> None:
+        trace.part_engines.append(name)
+        trace.engine_parts[name] = trace.engine_parts.get(name, 0) + 1
 
     def _run_part(
         self,
@@ -250,7 +377,7 @@ class HierarchicalExecutor:
         trace: Optional[ExecutionTrace],
     ) -> None:
         t0 = time.perf_counter()
-        self.backend.run_plan(plan, state, n, self.mode)
+        self._dense_engine.apply_part(state, plan, n, self.mode)
         elapsed = time.perf_counter() - t0
         if trace is not None:
             table_size = 1 << n
@@ -262,3 +389,4 @@ class HierarchicalExecutor:
             trace.backend_parts[label] = trace.backend_parts.get(label, 0) + 1
             trace.gather_elements += table_size
             trace.scatter_elements += table_size
+            self._record_engine(trace, "dense")

@@ -40,12 +40,14 @@ import repro.serve.scheduler
 import repro.serve.store
 import repro.sv
 import repro.sv.backend
+import repro.sv.engine
 import repro.sv.fusion
 import repro.sv.hier
 import repro.sv.kernels
 import repro.sv.layout
 import repro.sv.pauli
 import repro.sv.simulator
+import repro.sv.stabilizer
 
 DOCTEST_MODULES = [
     repro.sv.layout,
@@ -55,6 +57,8 @@ DOCTEST_MODULES = [
     repro.sv.backend,
     repro.sv.simulator,
     repro.sv.pauli,
+    repro.sv.stabilizer,
+    repro.sv.engine,
     repro.partition,
     repro.partition.base,
     repro.partition.natural,
@@ -82,6 +86,7 @@ DOCTEST_MODULES = [
 DATA_EXPORTS = {
     "BACKEND_NAMES",
     "DEFAULT_MAX_FUSED_QUBITS",
+    "METHOD_NAMES",
     "STRATEGIES",
     "SCHEDULES",
     "PauliTerm",

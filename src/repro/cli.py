@@ -247,6 +247,101 @@ def _serve(args) -> int:
     return 0
 
 
+def _dist_worker(args) -> int:
+    """One rank of a distributed socket run (SPMD worker).
+
+    Every worker builds the same circuit and (seeded, deterministic)
+    partition, connects the TCP mesh through the rank-0 rendezvous, and
+    runs the HiSVSIM engine; ``remap`` then moves amplitude blocks
+    between the worker processes.  Before exiting, each rank verifies
+    its observed per-exchange traffic against the closed-form dry-run
+    model — any byte of disagreement is a non-zero exit.
+    """
+    import json
+
+    import numpy as np
+
+    from .circuits import generators
+    from .dist import (
+        HiSVSimEngine,
+        engine_exchange_layouts,
+        exchange_rank_stats,
+    )
+    from .dist.transport import SocketTransport, dist_env_defaults
+    from .partition import get_partitioner
+    from .runtime.comm import SimComm
+
+    env = dist_env_defaults()
+    transport_kind = args.transport or env["transport"]
+    if not 0 <= args.rank < args.ranks:
+        print(f"rank {args.rank} out of range for {args.ranks} ranks")
+        return 2
+    qc = generators.build(args.circuit, args.qubits)
+    limit = args.limit or max(3, args.qubits - 3)
+    partition = get_partitioner(args.strategy).partition(qc, limit)
+
+    transport = None
+    if transport_kind == "socket":
+        if args.rendezvous:
+            host, _, port = args.rendezvous.rpartition(":")
+            rendezvous = (host or str(env["host"]), int(port))
+        else:
+            rendezvous = (str(env["host"]), int(env["port"]))
+        transport = SocketTransport.connect(
+            args.rank, args.ranks, rendezvous
+        )
+        comm = SimComm(args.ranks, transport=transport)
+    else:
+        comm = SimComm(args.ranks)
+    try:
+        engine = HiSVSimEngine(num_ranks=args.ranks)
+        state, report = engine.run(qc, partition, comm=comm)
+        full = state.to_full()  # collective: every rank participates
+
+        verified = True
+        problems = []
+        if transport is not None and args.verify:
+            local_bits = state.local_bits
+            expected = engine_exchange_layouts(
+                partition, args.qubits, args.ranks
+            )
+            records = transport.records
+            if len(records) != len(expected):
+                verified = False
+                problems.append(
+                    f"{len(records)} exchanges executed, model expects "
+                    f"{len(expected)}"
+                )
+            for i, (rec, (old, new)) in enumerate(
+                zip(records, expected)
+            ):
+                model = exchange_rank_stats(old, new, local_bits, args.rank)
+                observed = (rec.sent_bytes, rec.sent_msgs,
+                            rec.recv_bytes, rec.recv_msgs)
+                if observed != model:
+                    verified = False
+                    problems.append(
+                        f"exchange {i}: observed {observed} != model {model}"
+                    )
+        if args.out and (transport is None or args.rank == 0):
+            np.save(args.out, full)
+        print(json.dumps({
+            "rank": args.rank,
+            "ranks": args.ranks,
+            "circuit": qc.name,
+            "transport": transport_kind,
+            "parts": partition.num_parts,
+            "exchanges": report.comm.steps,
+            "bytes": report.comm.total_bytes,
+            "verified": verified,
+            "problems": problems,
+        }))
+        return 0 if verified else 2
+    finally:
+        if transport is not None:
+            transport.close()
+
+
 def _working_set_limit(text: str) -> int:
     """argparse type for ``--limit``: an integer >= 1."""
     value = int(text)
@@ -426,8 +521,49 @@ def main(argv=None) -> int:
     p_serve.add_argument("--no-fuse", dest="fuse", action="store_false",
                          help="force fusion off")
 
+    p_dw = sub.add_parser(
+        "dist-worker",
+        help="run one rank of a distributed socket simulation",
+        description="One SPMD rank of a multi-process run (repro.dist): "
+                    "builds the circuit and partition deterministically, "
+                    "joins the TCP mesh through the rank-0 rendezvous, "
+                    "executes with HiSVSimEngine, and verifies observed "
+                    "per-exchange traffic against the closed-form dry-run "
+                    "model (non-zero exit on any mismatch). Defaults come "
+                    "from REPRO_DIST_* (docs/configuration.md).",
+    )
+    p_dw.add_argument("--rank", type=int, required=True,
+                      help="this worker's rank in [0, ranks)")
+    p_dw.add_argument("--ranks", type=int, required=True,
+                      help="total rank count (power of two)")
+    p_dw.add_argument("--rendezvous", default=None,
+                      help="HOST:PORT of rank 0's rendezvous listener "
+                           "(default: REPRO_DIST_HOST:REPRO_DIST_PORT)")
+    p_dw.add_argument("--circuit", required=True,
+                      help="generator name (see `repro circuit`)")
+    p_dw.add_argument("--qubits", type=int, default=10)
+    p_dw.add_argument("--strategy", default="dagP",
+                      choices=["Nat", "DFS", "dagP"])
+    p_dw.add_argument("--limit", type=int, default=0,
+                      help="working-set limit (default: qubits - 3)")
+    p_dw.add_argument("--transport", default=None,
+                      choices=["socket", "recording"],
+                      help="amplitude transport (default: "
+                           "REPRO_DIST_TRANSPORT, else socket)")
+    p_dw.add_argument("--out", default=None,
+                      help="write the gathered full state here as .npy "
+                           "(rank 0 only under the socket transport)")
+    p_dw.add_argument("--verify", dest="verify", action="store_true",
+                      default=True,
+                      help="check records against the traffic model "
+                           "(default: on)")
+    p_dw.add_argument("--no-verify", dest="verify", action="store_false",
+                      help="skip the traffic-model check")
+
     args = parser.parse_args(argv)
 
+    if args.command == "dist-worker":
+        return _dist_worker(args)
     if args.command == "list":
         for name in EXPERIMENTS:
             print(name)

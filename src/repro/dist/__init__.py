@@ -23,20 +23,47 @@ Modules
 ``iqs``
     :class:`IQSEngine` — the Intel-QS-style static-mapping baseline:
     per-gate exchanges, with control/diagonal communication fast paths.
+``transport``
+    How exchanges move bytes: :class:`RecordingTransport` (all ranks
+    in-process, the historical behaviour) and :class:`SocketTransport`
+    (one OS process per rank over a TCP mesh, launched via
+    ``repro dist-worker``), verified byte-for-byte against the
+    closed-form model.
 """
 
-from .analytic import LayoutOnlyState, exchange_step_stats
+from .analytic import (
+    LayoutOnlyState,
+    engine_exchange_layouts,
+    exchange_rank_stats,
+    exchange_step_stats,
+)
 from .exchange import plan_layout_for_part, swap_qubit_positions
 from .hisvsim import HiSVSimEngine
 from .iqs import IQSEngine
 from .state import DistributedStateVector
+from .transport import (
+    ExchangeRecord,
+    RecordingTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+    run_spmd,
+)
 
 __all__ = [
     "DistributedStateVector",
     "LayoutOnlyState",
     "exchange_step_stats",
+    "exchange_rank_stats",
+    "engine_exchange_layouts",
     "plan_layout_for_part",
     "swap_qubit_positions",
     "HiSVSimEngine",
     "IQSEngine",
+    "Transport",
+    "TransportError",
+    "RecordingTransport",
+    "SocketTransport",
+    "ExchangeRecord",
+    "run_spmd",
 ]

@@ -31,7 +31,12 @@ from ..runtime.comm import SimComm
 from ..sv.layout import QubitLayout
 from .state import AMP_BYTES, LayoutQueriesMixin, _split_bits
 
-__all__ = ["exchange_step_stats", "LayoutOnlyState"]
+__all__ = [
+    "exchange_step_stats",
+    "exchange_rank_stats",
+    "engine_exchange_layouts",
+    "LayoutOnlyState",
+]
 
 
 def exchange_step_stats(
@@ -105,6 +110,104 @@ def exchange_step_stats(
     return (total_bytes, total_msgs, busiest_msgs * msg_bytes, busiest_msgs)
 
 
+def exchange_rank_stats(
+    old: QubitLayout, new: QubitLayout, local_bits: int, rank: int
+) -> Tuple[int, int, int, int]:
+    """One rank's off-diagonal traffic for the ``old -> new`` exchange.
+
+    Returns ``(sent_bytes, sent_msgs, recv_bytes, recv_msgs)`` — the
+    amplitude payload ``rank`` ships to and receives from *other* ranks,
+    the numbers a real transport (``SocketTransport.records``) must
+    reproduce exactly.  Because the exchange is a bit permutation, a
+    rank's send and receive sides are always equal, and its destination
+    set contains itself iff its source set does: with ``k`` destination
+    rank bits sourced from old local positions, every rank exchanges
+    ``2^k`` messages of ``2^(l-k)`` amplitudes each way, minus the
+    self-message when every fixed destination bit reproduces the rank's
+    own bits.  Summed over ranks, the send side equals
+    :func:`exchange_step_stats`' ``total_bytes``/``total_msgs``.
+
+    >>> from repro.sv.layout import QubitLayout
+    >>> old, new = QubitLayout.identity(4), QubitLayout([2, 1, 0, 3])
+    >>> [exchange_rank_stats(old, new, 2, r) for r in range(4)]
+    [(32, 1, 32, 1), (32, 1, 32, 1), (32, 1, 32, 1), (32, 1, 32, 1)]
+    >>> exchange_rank_stats(old, old, 2, 0)
+    (0, 0, 0, 0)
+    """
+    n = old.n
+    if new.n != n:
+        raise ValueError("layout size mismatch")
+    if not 0 <= local_bits <= n:
+        raise ValueError("local_bits out of range")
+    process_bits = n - local_bits
+    if not 0 <= rank < (1 << process_bits):
+        raise ValueError(f"rank {rank} out of range")
+    if old == new or process_bits == 0:
+        return (0, 0, 0, 0)
+
+    sigma = old.transition_sigma(new)  # old position -> new position
+    source_of = [0] * n  # new position -> old position
+    for old_pos, new_pos in enumerate(sigma):
+        source_of[new_pos] = old_pos
+
+    k = 0
+    self_message = True
+    for j in range(process_bits):
+        src = source_of[local_bits + j]
+        if src < local_bits:
+            k += 1
+        elif (rank >> (src - local_bits)) & 1 != (rank >> j) & 1:
+            # A fixed destination bit differs from this rank's own bit:
+            # the rank's destination set cannot contain itself.
+            self_message = False
+    msgs = (1 << k) - (1 if self_message else 0)
+    if msgs == 0:
+        return (0, 0, 0, 0)
+    msg_bytes = AMP_BYTES << (local_bits - k)
+    return (msgs * msg_bytes, msgs, msgs * msg_bytes, msgs)
+
+
+def engine_exchange_layouts(
+    partition, num_qubits: int, num_ranks: int
+) -> List[Tuple[QubitLayout, QubitLayout]]:
+    """The layout transitions :class:`~repro.dist.hisvsim.HiSVSimEngine`
+    performs for ``partition`` — the dry-run oracle for real transports.
+
+    Mirrors the engine's remap loop (minimal-motion planning with
+    one-part lookahead, identical-layout remaps skipped), so entry ``i``
+    corresponds one-to-one with the ``i``-th executed exchange of a real
+    run: a :class:`~repro.dist.transport.SocketTransport`'s ``records``
+    must match ``exchange_rank_stats`` of these transitions exactly.
+
+    >>> from repro.circuits.generators import qft
+    >>> from repro.partition import get_partitioner
+    >>> qc = qft(6)
+    >>> partition = get_partitioner("dagP").partition(qc, 4)
+    >>> seq = engine_exchange_layouts(partition, 6, 4)
+    >>> len(seq) >= 1 and all(a != b for a, b in seq)
+    True
+    """
+    from .exchange import plan_layout_for_part
+
+    process_bits = num_ranks.bit_length() - 1
+    local_bits = num_qubits - process_bits
+    layout = QubitLayout.identity(num_qubits)
+    transitions: List[Tuple[QubitLayout, QubitLayout]] = []
+    for i, part in enumerate(partition.parts):
+        next_qubits = (
+            partition.parts[i + 1].qubits
+            if i + 1 < partition.num_parts
+            else None
+        )
+        new = plan_layout_for_part(
+            layout, part.qubits, local_bits, next_qubits
+        )
+        if new != layout:
+            transitions.append((layout, new))
+            layout = new
+    return transitions
+
+
 class LayoutOnlyState(LayoutQueriesMixin):
     """A distributed state with no amplitudes — layout and traffic only.
 
@@ -141,10 +244,16 @@ class LayoutOnlyState(LayoutQueriesMixin):
         self.process_bits = process_bits
 
     def remap(self, new_layout: QubitLayout) -> None:
-        """Record the exchange a real remap would perform."""
+        """Record the exchange a real remap would perform.
+
+        Zero-traffic transitions (identical layouts, or local-only
+        shuffles whose process mapping is the identity) record no step,
+        agreeing with what the recording transport now does: a remap
+        that moves no bytes across ranks costs nothing.
+        """
         if new_layout == self.layout:
             return
-        self.comm.stats.add_step(
-            *exchange_step_stats(self.layout, new_layout, self.local_bits)
-        )
+        step = exchange_step_stats(self.layout, new_layout, self.local_bits)
+        if any(step):
+            self.comm.stats.add_step(*step)
         self.layout = new_layout

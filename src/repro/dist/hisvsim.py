@@ -125,12 +125,22 @@ class HiSVSimEngine:
         partition: Partition,
         multilevel: Optional[MultilevelPartition] = None,
         initial_full: Optional[np.ndarray] = None,
+        comm: Optional[SimComm] = None,
     ):
         """Execute ``circuit`` as partitioned; returns ``(state, report)``.
 
         ``state`` is a :class:`DistributedStateVector` (or a
         :class:`LayoutOnlyState` under ``dry_run``); ``report`` is a
         :class:`~repro.runtime.metrics.RunReport` with model timings.
+
+        ``comm`` injects the communicator; ``None`` builds a fresh
+        recording :class:`~repro.runtime.comm.SimComm`.  Passing one
+        whose transport is a
+        :class:`~repro.dist.transport.SocketTransport` turns this call
+        into one rank of an SPMD run: every worker process executes the
+        same deterministic loop and ``remap`` moves amplitude blocks
+        over TCP.  An injected comm's stats are reset at the start so
+        the report covers exactly this run.
         """
         n = circuit.num_qubits
         if partition.num_qubits != n or partition.num_gates != len(circuit):
@@ -147,9 +157,21 @@ class HiSVSimEngine:
             self._check_multilevel(partition, multilevel)
         if self.dry_run and initial_full is not None:
             raise ValueError("dry_run cannot execute an initial state")
+        if comm is None:
+            comm = SimComm(self.num_ranks)
+        else:
+            if comm.num_ranks != self.num_ranks:
+                raise ValueError(
+                    f"comm spans {comm.num_ranks} ranks, engine wants "
+                    f"{self.num_ranks}"
+                )
+            if self.dry_run and comm.rank is not None:
+                raise ValueError(
+                    "dry_run needs a recording comm (no SPMD transport)"
+                )
+            comm.reset_stats()
 
         wall0 = time.perf_counter()
-        comm = SimComm(self.num_ranks)
         if self.dry_run:
             state = LayoutOnlyState(n, comm)
         elif initial_full is not None:

@@ -77,13 +77,35 @@ class IQSEngine:
         self,
         circuit: QuantumCircuit,
         initial_full: Optional[np.ndarray] = None,
+        comm: Optional[SimComm] = None,
     ):
-        """Execute ``circuit`` gate by gate; returns ``(state, report)``."""
+        """Execute ``circuit`` gate by gate; returns ``(state, report)``.
+
+        ``comm`` injects the communicator (stats reset at the start);
+        it must be a *recording* comm — the baseline's per-gate
+        swap-in/swap-out bookkeeping models a static mapping and is not
+        wired for SPMD socket transports (use
+        :class:`~repro.dist.hisvsim.HiSVSimEngine` for real multi-
+        process runs).
+        """
         n = circuit.num_qubits
         if self.dry_run and initial_full is not None:
             raise ValueError("dry_run cannot execute an initial state")
+        if comm is None:
+            comm = SimComm(self.num_ranks)
+        else:
+            if comm.num_ranks != self.num_ranks:
+                raise ValueError(
+                    f"comm spans {comm.num_ranks} ranks, engine wants "
+                    f"{self.num_ranks}"
+                )
+            if comm.rank is not None:
+                raise ValueError(
+                    "IQSEngine supports recording comms only; SPMD "
+                    "transports go through HiSVSimEngine"
+                )
+            comm.reset_stats()
         wall0 = time.perf_counter()
-        comm = SimComm(self.num_ranks)
         if self.dry_run:
             state = LayoutOnlyState(n, comm)
         elif initial_full is not None:

@@ -20,10 +20,9 @@ import numpy as np
 from ..runtime.comm import SimComm
 from ..sv.kernels import apply_matrix_batched
 from ..sv.layout import QubitLayout, extract_bits, permute_bits
+from .transport import AMP_BYTES
 
-__all__ = ["DistributedStateVector"]
-
-AMP_BYTES = 16  # complex128
+__all__ = ["DistributedStateVector", "AMP_BYTES"]
 
 
 class LayoutQueriesMixin:
@@ -59,13 +58,29 @@ def _split_bits(num_qubits: int, comm: SimComm) -> int:
     return process_bits
 
 
+def _shard_rows(comm: SimComm) -> int:
+    """Rows of the local shard matrix: all ranks, or just this one.
+
+    Recording comms (``comm.rank is None``) host every rank in-process,
+    so the shard matrix has ``R`` rows; an SPMD comm holds exactly its
+    own rank's row.
+    """
+    return 1 if comm.rank is not None else comm.num_ranks
+
+
 class DistributedStateVector(LayoutQueriesMixin):
     """A ``2^n`` state vector sharded over ``comm.num_ranks`` virtual ranks.
 
-    ``shards`` is the ``(R, 2^local_bits)`` complex matrix whose row ``r``
-    is rank ``r``'s data.  All constructors and :meth:`remap` keep the
-    invariant that ``shards.flat[p]`` holds the amplitude of logical basis
-    state ``layout.logical_index(p)``.
+    Under a recording comm, ``shards`` is the ``(R, 2^local_bits)``
+    complex matrix whose row ``r`` is rank ``r``'s data, and
+    ``shards.flat[p]`` holds the amplitude of logical basis state
+    ``layout.logical_index(p)``.  Under an SPMD comm (``comm.rank`` set,
+    e.g. a :class:`~repro.dist.transport.SocketTransport`), ``shards``
+    is this rank's ``(1, 2^local_bits)`` row and the same invariant
+    holds for the packed indices this rank owns
+    (``rank * 2^local_bits + offset``); :meth:`remap` then moves
+    amplitudes between OS processes and :meth:`to_full` gathers rows
+    from every rank.
 
     >>> import numpy as np
     >>> from repro.runtime.comm import SimComm
@@ -91,9 +106,9 @@ class DistributedStateVector(LayoutQueriesMixin):
         local_bits = num_qubits - process_bits
         if layout.n != num_qubits:
             raise ValueError("layout width does not match num_qubits")
-        if shards.shape != (comm.num_ranks, 1 << local_bits):
+        if shards.shape != (_shard_rows(comm), 1 << local_bits):
             raise ValueError(
-                f"shards must be {(comm.num_ranks, 1 << local_bits)}, "
+                f"shards must be {(_shard_rows(comm), 1 << local_bits)}, "
                 f"got {shards.shape}"
             )
         self.num_qubits = num_qubits
@@ -110,10 +125,11 @@ class DistributedStateVector(LayoutQueriesMixin):
         """``|0...0>`` sharded under the identity layout."""
         process_bits = _split_bits(num_qubits, comm)
         shards = np.zeros(
-            (comm.num_ranks, 1 << (num_qubits - process_bits)),
+            (_shard_rows(comm), 1 << (num_qubits - process_bits)),
             dtype=np.complex128,
         )
-        shards[0, 0] = 1.0
+        if comm.rank in (None, 0):  # packed index 0 lives on rank 0
+            shards[0, 0] = 1.0
         return cls(num_qubits, comm, shards, QubitLayout.identity(num_qubits))
 
     @classmethod
@@ -135,19 +151,37 @@ class DistributedStateVector(LayoutQueriesMixin):
         shards = state[layout.logical_index(packed)].reshape(
             comm.num_ranks, 1 << (num_qubits - process_bits)
         )
+        if comm.rank is not None:
+            shards = shards[comm.rank : comm.rank + 1].copy()
         return cls(num_qubits, comm, shards, layout)
 
     def to_full(self) -> np.ndarray:
-        """Gather the logical state vector (fresh array, any layout)."""
+        """Gather the logical state vector (fresh array, any layout).
+
+        Under an SPMD comm this is a collective: every rank must call
+        it (rows are allgathered over the transport) and every rank
+        returns the same full vector.  Gather traffic is diagnostic and
+        is not recorded in the exchange accounting.
+        """
+        shards = self.comm.transport.allgather_rows(self.shards)
         packed = np.arange(1 << self.num_qubits, dtype=np.int64)
         full = np.empty(packed.size, dtype=np.complex128)
-        full[self.layout.logical_index(packed)] = self.shards.reshape(-1)
+        full[self.layout.logical_index(packed)] = shards.reshape(-1)
         return full
 
     # -- numerics -------------------------------------------------------------
 
     def norm(self) -> float:
+        """Norm of the locally held rows (the global norm when all ranks
+        are in-process; this rank's shard norm under an SPMD comm)."""
         return float(np.linalg.norm(self.shards))
+
+    def _packed_indices(self) -> np.ndarray:
+        """Packed storage indices of the locally held amplitudes."""
+        if self.comm.rank is None:
+            return np.arange(1 << self.num_qubits, dtype=np.int64)
+        base = np.int64(self.comm.rank) << self.local_bits
+        return base + np.arange(1 << self.local_bits, dtype=np.int64)
 
     # -- communication --------------------------------------------------------
 
@@ -156,15 +190,16 @@ class DistributedStateVector(LayoutQueriesMixin):
 
         The destination of every element follows from the position-to-
         position permutation between the two layouts; identical layouts
-        are a true no-op (no exchange step is recorded).
+        are a true no-op, and a transition that only shuffles local
+        positions records no exchange step either (no bytes cross a
+        rank boundary, matching the closed-form model).
         """
         if new_layout == self.layout:
             return
         if new_layout.n != self.num_qubits:
             raise ValueError("layout width does not match num_qubits")
         sigma = self.layout.transition_sigma(new_layout)
-        packed = np.arange(1 << self.num_qubits, dtype=np.int64)
-        new_packed = permute_bits(packed, sigma)
+        new_packed = permute_bits(self._packed_indices(), sigma)
         shape = self.shards.shape
         dest_rank = (new_packed >> self.local_bits).reshape(shape)
         dest_offset = (new_packed & ((1 << self.local_bits) - 1)).reshape(shape)
@@ -216,9 +251,9 @@ class DistributedStateVector(LayoutQueriesMixin):
         the communication-free fast path of the IQS baseline.
         """
         diag = np.ascontiguousarray(np.diag(gate.matrix()))
-        packed = np.arange(1 << self.num_qubits, dtype=np.int64)
         operand_bits = extract_bits(
-            packed, [self.layout.position(q) for q in gate.qubits]
+            self._packed_indices(),
+            [self.layout.position(q) for q in gate.qubits],
         )
         flat = self.shards.reshape(-1)
         flat *= diag[operand_bits]

@@ -1,20 +1,22 @@
 """SimComm: the virtual-rank communication substrate.
 
-Substitute for MPI (see DESIGN.md): ``R`` virtual ranks live in one
-process, each owning a row of a ``(R, 2^l)`` shard matrix.  An exchange is
-described by per-element destination (rank, offset) arrays — exactly the
-information a real ``MPI_Alltoallv`` plan would carry — and is executed as
-one vectorised scatter while bytes and message counts are recorded per
-(src, dst) pair.  The mpi4py-style buffer discipline (no pickling, flat
-numpy buffers, explicit plans) is preserved so the layer could be swapped
-for real MPI without touching callers.
+Substitute for MPI (see DESIGN.md): an exchange is described by
+per-element destination (rank, offset) arrays — exactly the information
+a real ``MPI_Alltoallv`` plan would carry.  *Executing* the plan is
+delegated to a :class:`~repro.dist.transport.Transport`: by default a
+:class:`~repro.dist.transport.RecordingTransport` keeps all ``R`` ranks
+in one process (each owning a row of a ``(R, 2^l)`` shard matrix, one
+vectorised scatter per exchange, bytes and message counts recorded per
+(src, dst) pair); a :class:`~repro.dist.transport.SocketTransport` runs
+one OS process per rank and moves the same bytes over TCP.  The
+mpi4py-style buffer discipline (no pickling, flat numpy buffers,
+explicit plans) is preserved so the layer could be swapped for real MPI
+without touching callers.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-import numpy as np
+from typing import Optional
 
 from .metrics import CommStats
 
@@ -22,77 +24,76 @@ __all__ = ["SimComm"]
 
 
 class SimComm:
-    """In-process stand-in for an MPI communicator over ``num_ranks`` ranks.
+    """An MPI-communicator stand-in over ``num_ranks`` ranks.
 
     ``validate_plans=True`` checks every exchange plan for bijectivity
     before executing it (a corrupted plan would silently drop amplitudes
     in a scatter, exactly like overlapping MPI receive buffers would);
-    engines construct plans from bit permutations so the default skips the
-    O(N) check.
+    engines construct plans from bit permutations so the default skips
+    the O(N) check.  ``transport`` selects how plans execute; ``None``
+    keeps the historical in-process recording behaviour.  In SPMD mode
+    (``rank`` is not ``None``) ``stats`` are the rank-local view — this
+    rank's sends/receives, not cluster totals.
     """
 
-    def __init__(self, num_ranks: int, validate_plans: bool = False) -> None:
+    def __init__(
+        self,
+        num_ranks: int,
+        validate_plans: bool = False,
+        transport=None,
+    ) -> None:
         if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
             raise ValueError("num_ranks must be a positive power of two")
+        if transport is None:
+            # Local import: repro.dist imports this module at package
+            # init, so a top-level import here would be circular.
+            from ..dist.transport import RecordingTransport
+
+            transport = RecordingTransport(
+                num_ranks, validate_plans=validate_plans
+            )
+        elif transport.num_ranks != num_ranks:
+            raise ValueError(
+                f"transport spans {transport.num_ranks} ranks, "
+                f"comm wants {num_ranks}"
+            )
         self.num_ranks = num_ranks
         self.validate_plans = validate_plans
+        self.transport = transport
         self.stats = CommStats()
+
+    @property
+    def rank(self) -> Optional[int]:
+        """This process's rank in SPMD mode; ``None`` when recording
+        (every rank lives in this process)."""
+        return self.transport.rank
 
     # -- collectives --------------------------------------------------------
 
-    def alltoall_permute(
-        self,
-        shards: np.ndarray,
-        dest_rank: np.ndarray,
-        dest_offset: np.ndarray,
-    ) -> np.ndarray:
+    def alltoall_permute(self, shards, dest_rank, dest_offset):
         """Execute a permutation exchange; returns the new shard matrix.
 
         Parameters
         ----------
         shards:
-            ``(R, local)`` complex matrix; row ``r`` is rank ``r``'s data.
+            ``(R, local)`` complex matrix (recording), or this rank's
+            ``(1, local)`` row (SPMD); row ``r`` is rank ``r``'s data.
         dest_rank, dest_offset:
             Same shape as ``shards``: element ``(r, o)`` moves to
-            ``new[dest_rank[r, o], dest_offset[r, o]]``.  The map must be a
-            bijection onto the full index space (checked cheaply via
-            collision-free scatter in debug runs; here by construction).
+            ``new[dest_rank[r, o], dest_offset[r, o]]``.  The map must
+            be a bijection onto the full index space (checked cheaply
+            via collision-free scatter in debug runs; here by
+            construction).
+
+        A plan that moves nothing across ranks records no step: no-op
+        and local-only remaps cost nothing, matching the closed-form
+        model in :mod:`repro.dist.analytic`.
         """
-        R, local = shards.shape
         if dest_rank.shape != shards.shape or dest_offset.shape != shards.shape:
             raise ValueError("plan shape mismatch")
-        flat_dest = dest_rank.astype(np.int64) * local + dest_offset.astype(np.int64)
-        if self.validate_plans:
-            flat = flat_dest.reshape(-1)
-            if flat.min() < 0 or flat.max() >= R * local:
-                raise ValueError("exchange plan addresses out of range")
-            if np.unique(flat).size != flat.size:
-                raise ValueError("exchange plan is not a bijection")
-        new_flat = np.empty(R * local, dtype=shards.dtype)
-        new_flat[flat_dest.reshape(-1)] = shards.reshape(-1)
-
-        # Accounting: off-diagonal traffic only.
-        src = np.repeat(np.arange(R, dtype=np.int64), local)
-        dst = dest_rank.reshape(-1).astype(np.int64)
-        off_diag = src != dst
-        itemsize = shards.dtype.itemsize
-        if np.any(off_diag):
-            pair_ids = src[off_diag] * R + dst[off_diag]
-            counts = np.bincount(pair_ids, minlength=R * R)
-            counts = counts.reshape(R, R)
-            bytes_out = counts.sum(axis=1) * itemsize
-            bytes_in = counts.sum(axis=0) * itemsize
-            msgs_out = (counts > 0).sum(axis=1)
-            msgs_in = (counts > 0).sum(axis=0)
-            self.stats.add_step(
-                total_bytes=int(counts.sum()) * itemsize,
-                total_msgs=int((counts > 0).sum()),
-                max_bytes=int(np.maximum(bytes_out, bytes_in).max()),
-                max_msgs=int(np.maximum(msgs_out, msgs_in).max()),
-            )
-        else:
-            self.stats.add_step(0, 0, 0, 0)
-        return new_flat.reshape(R, local)
+        return self.transport.exchange(
+            shards, dest_rank, dest_offset, self.stats
+        )
 
     def pairwise_exchange_volume(self, bytes_per_rank: int) -> None:
         """Record a pairwise halves exchange (IQS-style) without moving data.

@@ -315,6 +315,15 @@ class ServeDaemon:
         self._stop_event.set()
 
     def _join_workers(self) -> None:
+        """Wait for worker threads within one *total* ``drain_grace``.
+
+        The deadline is computed once, before the first join, and every
+        join waits only for whatever remains of it — ``drain_grace`` is
+        a budget for the whole drain, not per thread.  Joins past the
+        deadline use a 0 timeout (never a negative one, which
+        ``Thread.join`` would treat as "no timeout" on some paths), so
+        a wedged worker cannot stall the drain beyond the grace.
+        """
         deadline = time.monotonic() + self.config.drain_grace
         for thread in self._worker_threads:
             thread.join(max(0.0, deadline - time.monotonic()))
@@ -517,12 +526,20 @@ class ServeDaemon:
             ]
             for handle, job in zip(handles, jobs):
                 self._store.add(handle, batch=batch_id, client_id=job.job_id)
+            # Count the submission *before* the queue accepts it (rolled
+            # back on rejection): once submit() returns, a worker may
+            # finish the batch immediately, and counting afterwards
+            # would let a concurrent /metrics read observe
+            # completed + errored + in_flight > submitted.
+            with self._metrics_lock:
+                self._submitted += len(entries)
             try:
                 self._queue.submit(entries)
             except QueueFull as exc:
                 for handle in handles:
                     self._store.discard(handle)
                 with self._metrics_lock:
+                    self._submitted -= len(entries)
                     self._rejected += len(entries)
                 return 429, {
                     "error": str(exc),
@@ -531,10 +548,10 @@ class ServeDaemon:
             except QueueClosed:
                 for handle in handles:
                     self._store.discard(handle)
+                with self._metrics_lock:
+                    self._submitted -= len(entries)
                 return 503, {"error": "daemon is draining"}, []
             self._batches[batch_id] = handles
-        with self._metrics_lock:
-            self._submitted += len(entries)
         return 202, {
             "batch": batch_id,
             "status_url": f"/batches/{batch_id}",
@@ -609,6 +626,10 @@ class ServeDaemon:
                 "errored": self._errored,
                 "in_flight": self._in_flight,
             }
+        # Routing counters are updated in pairs under the runner's own
+        # lock; snapshot them atomically rather than reading attributes
+        # one by one mid-update.
+        routing = self._runner.counters_snapshot()
         return {
             "uptime_seconds": (
                 0.0 if self._started_at is None
@@ -627,16 +648,16 @@ class ServeDaemon:
                 "ttl_seconds": self.config.ttl,
             },
             "runner": {
-                "partitions_computed": self._runner.partitions_computed,
-                "partition_hits": self._runner.partition_hits,
+                "partitions_computed": routing["partitions_computed"],
+                "partition_hits": routing["partition_hits"],
                 "plan_hits": cache.hits,
                 "plan_misses": cache.misses,
                 "structures_compiled": cache.structure_misses,
                 "structure_hits": cache.structure_hits,
                 "method": self._runner.method,
-                "parts_routed_dense": self._runner.parts_routed_dense,
+                "parts_routed_dense": routing["parts_routed_dense"],
                 "parts_routed_stabilizer": (
-                    self._runner.parts_routed_stabilizer
+                    routing["parts_routed_stabilizer"]
                 ),
             },
         }

@@ -246,6 +246,30 @@ class BatchRunner:
         """The resolved engine-routing policy this runner executes with."""
         return self._executor.method
 
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Lifetime cache/routing counters, read atomically.
+
+        The four counters are updated in pairs under ``_partition_lock``
+        (a partition event bumps exactly one of computed/hits; a routed
+        part bumps dense or stabilizer) — reading the attributes one by
+        one from another thread can observe a torn pair.  Monitoring
+        paths (the serve daemon's ``/metrics``) read through here.
+
+        >>> runner = BatchRunner()
+        >>> sorted(runner.counters_snapshot())
+        ['partition_hits', 'partitions_computed', 'parts_routed_dense', \
+'parts_routed_stabilizer']
+        >>> runner.counters_snapshot()["partitions_computed"]
+        0
+        """
+        with self._partition_lock:
+            return {
+                "partitions_computed": self.partitions_computed,
+                "partition_hits": self.partition_hits,
+                "parts_routed_dense": self.parts_routed_dense,
+                "parts_routed_stabilizer": self.parts_routed_stabilizer,
+            }
+
     # -- partition cache ---------------------------------------------------
 
     def _partition_for(

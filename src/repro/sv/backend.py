@@ -37,8 +37,10 @@ toy problems.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -451,6 +453,22 @@ def _process_run_block(
         shm.close()
 
 
+# Shared-memory segments must be unlinked before the interpreter exits
+# or resource_tracker reports them leaked (and they survive in /dev/shm
+# until the tracker reaps them).  A run that dies between begin_run and
+# end_run — KeyboardInterrupt, sys.exit inside a worker callback — would
+# otherwise leave its segment behind, so every live ProcessBackend is
+# swept at interpreter shutdown.  WeakSet: the sweep must not keep
+# otherwise-dead backends alive.
+_LIVE_PROCESS_BACKENDS: "weakref.WeakSet[ProcessBackend]" = weakref.WeakSet()
+
+
+@atexit.register
+def _cleanup_process_backends() -> None:
+    for backend in list(_LIVE_PROCESS_BACKENDS):
+        backend._release_sessions()
+
+
 class ProcessBackend(ExecutionBackend):
     """Row-block parallelism across worker processes over shared memory.
 
@@ -496,6 +514,7 @@ class ProcessBackend(ExecutionBackend):
         # same live state is refused.
         self._sessions: Dict[int, tuple] = {}
         self._session_lock = threading.Lock()
+        _LIVE_PROCESS_BACKENDS.add(self)
 
     def describe(self) -> str:
         return f"process[{self.processes}]"
@@ -522,12 +541,35 @@ class ProcessBackend(ExecutionBackend):
             return self._pool
 
     def close(self) -> None:
+        self._release_sessions()
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
 
     # -- shared-memory session --------------------------------------------
+
+    def _release_sessions(self) -> None:
+        """Unlink every live shared-memory segment (results abandoned).
+
+        The recovery path for runs that never reached ``end_run`` —
+        called from :meth:`close` and from the interpreter-shutdown
+        sweep.  Segments are destroyed without copying back: by the time
+        this runs, the run that owned them is dead.
+        """
+        with self._session_lock:
+            entries = list(self._sessions.values())
+            self._sessions.clear()
+        for entry in entries:
+            if not entry:
+                continue
+            shm, view = entry
+            del view  # release the buffer before closing the segment
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:  # pragma: no cover - already reaped
+                pass
 
     def _session_for(self, state: np.ndarray) -> Optional[tuple]:
         with self._session_lock:

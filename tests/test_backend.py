@@ -361,6 +361,41 @@ class TestProcessBackend:
         assert backend._pool is None
         assert float(np.max(np.abs(state - _reference_state(qc)))) < 1e-10
 
+    def test_close_releases_abandoned_sessions(self):
+        backend = ProcessBackend(2)
+        state = zero_state(4)
+        backend.begin_run(state)  # ...and never end_run
+        backend.close()
+        assert backend.num_active_sessions == 0
+
+    def test_abnormal_exit_leaks_no_shared_memory(self):
+        # Regression: a run dying between begin_run and end_run used to
+        # leave its segment for resource_tracker to report as leaked at
+        # interpreter shutdown.  The atexit sweep must reap it silently.
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.sv.backend import ProcessBackend\n"
+            "backend = ProcessBackend(2)\n"
+            "state = np.zeros(1 << 12, dtype=np.complex128)\n"
+            "backend.begin_run(state)\n"
+            "sys.exit(3)  # dies before end_run\n"
+        )
+        here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(here, "src")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 3
+        assert "leaked shared_memory" not in result.stderr, result.stderr
+        assert "resource_tracker" not in result.stderr, result.stderr
+
 
 # ---------------------------------------------------------------------------
 # Flat simulator and dist shards through backends

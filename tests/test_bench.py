@@ -1,7 +1,7 @@
 """The unified benchmark registry (repro.bench).
 
 Covers the ISSUE-5 acceptance surface: schema JSON roundtrip, registry
-discovery of all 19 benchmark scripts, comparator pass/fail/threshold
+discovery of all 20 benchmark scripts, comparator pass/fail/threshold
 behaviour, and a ``repro bench run`` CLI smoke at tiny qubit widths.
 """
 
@@ -52,9 +52,10 @@ ALL_BENCHMARKS = {
     "table3",
     "table4",
     "threads",
+    "transport",
 }
 
-SMOKE_REQUIRED = {"fusion", "parallel", "batch", "stabilizer"}
+SMOKE_REQUIRED = {"fusion", "parallel", "batch", "stabilizer", "transport"}
 
 
 def make_result(name="demo", metrics=None, params=None, times=(0.2, 0.1, 0.3)):
@@ -136,7 +137,7 @@ class TestRegistry:
     def test_discovers_all_benchmarks(self):
         registry = load_benchmarks()
         assert set(registry) >= ALL_BENCHMARKS
-        assert len(ALL_BENCHMARKS) == 19
+        assert len(ALL_BENCHMARKS) == 20
 
     def test_smoke_tag_covers_fusion_parallel_batch(self):
         registry = load_benchmarks()
@@ -355,7 +356,7 @@ class TestCli:
         out = capsys.readouterr().out
         for name in ("fusion", "parallel", "batch"):
             assert name in out
-        assert "19 benchmarks" in out
+        assert "20 benchmarks" in out
 
     def test_bench_run_smoke_tiny_and_compare(self, capsys, tmp_path,
                                               monkeypatch):

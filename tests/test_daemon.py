@@ -640,3 +640,153 @@ class TestDifferential:
             assert metrics["runner"]["structure_hits"] == 31 * parts
         finally:
             d.stop()
+
+
+class TestMetricsConsistency:
+    """Regressions for the admission/metrics races.
+
+    ``submitted`` is incremented under the admission lock *before* the
+    queue accepts the batch (rolled back on rejection), so the job-count
+    invariant ``submitted >= completed + errored + in_flight`` holds at
+    every instant a concurrent ``/metrics`` read can observe; routing
+    counters are snapshotted atomically from the runner instead of read
+    attribute by attribute mid-update.
+    """
+
+    def test_submitted_never_lags_completion(self):
+        d = ServeDaemon(ServeConfig(port=0, workers=2, max_batch=4)).start()
+        stop = threading.Event()
+        violations = []
+
+        def watch():
+            while not stop.is_set():
+                jobs = d.metrics()["jobs"]
+                accounted = (
+                    jobs["completed"] + jobs["errored"] + jobs["in_flight"]
+                )
+                if jobs["submitted"] < accounted:
+                    violations.append(jobs)
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        try:
+            batches = []
+            for k in range(6):
+                status, accepted, _ = request(
+                    d.port, "POST", "/jobs",
+                    payload=sweep_manifest(jobs=3, n=5),
+                )
+                assert status == 202
+                batches.append(accepted["batch"])
+            for batch_id in batches:
+                poll_batch(d.port, batch_id, timeout=60.0)
+        finally:
+            stop.set()
+            watcher.join(5.0)
+            d.stop()
+        assert not violations, violations
+        jobs = d.metrics()["jobs"]
+        assert jobs["submitted"] == 18
+        assert jobs["completed"] + jobs["errored"] == 18
+        assert jobs["in_flight"] == 0
+
+    def test_rejected_submissions_roll_back(self):
+        # workers=0 + tiny queue: admissions beyond capacity bounce with
+        # 429 and must not inflate `submitted`.
+        d = ServeDaemon(ServeConfig(
+            port=0, workers=0, queue_limit=2, drain_grace=0.1
+        )).start()
+        try:
+            status, _, _ = request(
+                d.port, "POST", "/jobs", payload=sweep_manifest(jobs=2, n=4)
+            )
+            assert status == 202
+            status, _, _ = request(
+                d.port, "POST", "/jobs", payload=sweep_manifest(jobs=2, n=4)
+            )
+            assert status == 429
+            jobs = d.metrics()["jobs"]
+            assert jobs["submitted"] == 2
+            assert jobs["rejected"] == 2
+        finally:
+            d.stop()
+
+    def test_runner_counters_snapshot_is_atomic_pairing(self):
+        runner = BatchRunner(schedule="grouped")
+        stop = threading.Event()
+        violations = []
+
+        def watch():
+            # Invariant: computed + hits == jobs finished so far, and a
+            # snapshot may never show hits without a computed partition.
+            while not stop.is_set():
+                snap = runner.counters_snapshot()
+                if snap["partition_hits"] and not snap["partitions_computed"]:
+                    violations.append(snap)
+
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        try:
+            jobs = [
+                SimJob(f"j{k}", qaoa(6, p=1, gammas=[0.1 * k], betas=[0.2]),
+                       shots=8, seed=k)
+                for k in range(8)
+            ]
+            runner.run(jobs)
+        finally:
+            stop.set()
+            watcher.join(5.0)
+        assert not violations, violations
+        snap = runner.counters_snapshot()
+        assert snap["partitions_computed"] + snap["partition_hits"] == 8
+        assert snap["parts_routed_dense"] + snap["parts_routed_stabilizer"] > 0
+
+    def test_metrics_routing_matches_runner_snapshot(self, daemon):
+        status, accepted, _ = request(
+            daemon.port, "POST", "/jobs", payload=sweep_manifest(jobs=4, n=5)
+        )
+        assert status == 202
+        poll_batch(daemon.port, accepted["batch"])
+        metrics = daemon.metrics()["runner"]
+        snap = daemon._runner.counters_snapshot()
+        for key in ("partitions_computed", "partition_hits",
+                    "parts_routed_dense", "parts_routed_stabilizer"):
+            assert metrics[key] == snap[key]
+
+
+class TestDrainGraceBudget:
+    def test_drain_grace_is_a_total_budget(self):
+        # Two slow worker batches, one tiny grace: the drain must give
+        # up after ~drain_grace in total, not drain_grace per thread.
+        d = ServeDaemon(ServeConfig(
+            port=0, workers=2, drain_grace=0.3, max_batch=1
+        )).start()
+        release = threading.Event()
+        original = d._runner.run
+
+        def slow_run(jobs):
+            release.wait(10.0)
+            return original(jobs)
+
+        d._runner.run = slow_run
+        try:
+            status, _, _ = request(
+                d.port, "POST", "/jobs", payload=sweep_manifest(jobs=2, n=4)
+            )
+            assert status == 202
+            deadline = time.monotonic() + 5.0
+            while d.metrics()["jobs"]["in_flight"] < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            t0 = time.monotonic()
+            joiner = threading.Thread(target=d._join_workers, daemon=True)
+            joiner.start()
+            joiner.join(5.0)
+            elapsed = time.monotonic() - t0
+            assert not joiner.is_alive()
+            # One total budget (0.3s) + scheduling slack, not 2 * 0.3s
+            # per-thread waits plus the jobs' own 10s hold.
+            assert elapsed < 2.0
+        finally:
+            release.set()
+            d.stop()

@@ -1,0 +1,472 @@
+"""Socket transport tests: the dry-run traffic model as correctness oracle.
+
+The recording transport (all ranks in one process) is the historical
+behaviour every model number in the reproduction is pinned against; the
+socket transport runs one OS process (here: thread, via ``run_spmd``)
+per rank over a real TCP mesh.  These tests hold the two together:
+
+* differential — SPMD runs produce ``to_full()`` *bit-identical* to the
+  recording transport, across backends and rank counts;
+* traffic oracle — every per-rank :class:`ExchangeRecord` equals the
+  closed-form :func:`exchange_rank_stats`, whose rank-sum equals the
+  global :func:`exchange_step_stats` already pinned by the dry-run
+  suite;
+* the no-op-remap regression — zero-traffic exchanges record no step,
+  in the recording transport, the analytic state and the model alike;
+* fault injection — dead peers, mid-frame disconnects and truncated
+  frames surface as clean :class:`TransportError`\\ s, never hangs.
+"""
+
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import generators
+from repro.dist import (
+    DistributedStateVector,
+    HiSVSimEngine,
+    LayoutOnlyState,
+    engine_exchange_layouts,
+    exchange_rank_stats,
+    exchange_step_stats,
+)
+from repro.dist.transport import (
+    AMP_BYTES,
+    ExchangeRecord,
+    RecordingTransport,
+    SocketTransport,
+    TransportError,
+    dist_env_defaults,
+    run_spmd,
+)
+from repro.partition import get_partitioner
+from repro.runtime.comm import SimComm
+from repro.sv.layout import QubitLayout
+from repro.sv.simulator import StateVectorSimulator
+
+
+@st.composite
+def layout_pairs(draw, n):
+    rnd = draw(st.randoms(use_true_random=False))
+    old = list(range(n))
+    new = list(range(n))
+    rnd.shuffle(old)
+    rnd.shuffle(new)
+    return QubitLayout(old), QubitLayout(new)
+
+
+def spmd_engine_run(num_ranks, name, qubits, strategy="dagP", limit=None):
+    """Run one circuit SPMD over sockets; returns (fulls, transports)."""
+    qc = generators.build(name, qubits)
+    partition = get_partitioner(strategy).partition(
+        qc, limit or max(3, qubits - 3)
+    )
+    transports = [None] * num_ranks
+
+    def worker(rank, transport):
+        transports[rank] = transport
+        comm = SimComm(num_ranks, transport=transport)
+        engine = HiSVSimEngine(num_ranks=num_ranks)
+        state, report = engine.run(qc, partition, comm=comm)
+        return state.to_full(), report
+
+    results = run_spmd(num_ranks, worker)
+    fulls = [r[0] for r in results]
+    return qc, partition, fulls, transports, [r[1] for r in results]
+
+
+class TestRankStatsModel:
+    """exchange_rank_stats against the pinned global model."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_rank_sum_matches_global_model(self, data):
+        n = data.draw(st.integers(min_value=3, max_value=7))
+        local_bits = data.draw(st.integers(min_value=1, max_value=n - 1))
+        old, new = data.draw(layout_pairs(n))
+        total_bytes, total_msgs, _, _ = exchange_step_stats(
+            old, new, local_bits
+        )
+        ranks = 1 << (n - local_bits)
+        sent_b = sent_m = 0
+        for r in range(ranks):
+            sb, sm, rb, rm = exchange_rank_stats(old, new, local_bits, r)
+            # A bit permutation is volume-symmetric per rank.
+            assert (sb, sm) == (rb, rm)
+            sent_b += sb
+            sent_m += sm
+        assert sent_b == total_bytes
+        assert sent_m == total_msgs
+
+    def test_identity_costs_nothing_per_rank(self):
+        lay = QubitLayout.identity(5)
+        for r in range(8):
+            assert exchange_rank_stats(lay, lay, 2, r) == (0, 0, 0, 0)
+
+    def test_local_shuffle_costs_nothing_per_rank(self):
+        old = QubitLayout.identity(5)
+        new = QubitLayout([1, 0, 2, 3, 4])  # local-only swap at l=3
+        for r in range(4):
+            assert exchange_rank_stats(old, new, 3, r) == (0, 0, 0, 0)
+
+    def test_full_process_swap(self):
+        # Swapping a local and a process qubit: every rank ships half its
+        # shard to exactly one partner.
+        old = QubitLayout.identity(4)
+        new = QubitLayout([2, 1, 0, 3])
+        for r in range(4):
+            stats = exchange_rank_stats(old, new, 2, r)
+            assert stats == (AMP_BYTES * 2, 1, AMP_BYTES * 2, 1)
+
+
+class TestNoOpRemapRegression:
+    """Satellite bugfix: no-op remaps must cost nothing everywhere."""
+
+    def test_recording_transport_skips_zero_step(self):
+        comm = SimComm(4)
+        dsv = DistributedStateVector.zero(4, comm)
+        dsv.remap(QubitLayout([1, 0, 2, 3]))  # local-only swap
+        assert comm.stats.steps == 0
+        assert comm.stats.total_bytes == 0
+        dsv.remap(QubitLayout([2, 1, 0, 3]))  # crosses the rank boundary
+        assert comm.stats.steps == 1
+        assert comm.stats.total_bytes > 0
+
+    def test_analytic_state_agrees_with_recording(self):
+        layouts = [
+            QubitLayout([1, 0, 2, 3]),  # free
+            QubitLayout([2, 1, 0, 3]),  # paid
+            QubitLayout([2, 1, 0, 3]),  # identity: free
+            QubitLayout([3, 1, 0, 2]),  # paid
+        ]
+        real_comm, dry_comm = SimComm(4), SimComm(4)
+        dsv = DistributedStateVector.zero(4, real_comm)
+        dry = LayoutOnlyState(4, dry_comm)
+        for lay in layouts:
+            dsv.remap(lay)
+            dry.remap(lay)
+        assert real_comm.stats.steps == dry_comm.stats.steps == 2
+        assert real_comm.stats.total_bytes == dry_comm.stats.total_bytes
+        assert real_comm.stats.total_msgs == dry_comm.stats.total_msgs
+
+    def test_socket_transport_records_but_does_not_step(self):
+        # Under SPMD every exchange() call still runs a frame round (the
+        # peers cannot know it is globally free), but a zero-traffic one
+        # contributes no CommStats step — same accounting as recording.
+        def worker(rank, transport):
+            comm = SimComm(2, transport=transport)
+            dsv = DistributedStateVector.zero(3, comm)
+            dsv.remap(QubitLayout([1, 0, 2]))  # local-only: free
+            dsv.remap(QubitLayout([2, 1, 0]))  # paid
+            return comm.stats.steps, len(transport.records)
+
+        for steps, records in run_spmd(2, worker):
+            assert steps == 1
+            assert records == 2
+
+
+class TestSocketDifferential:
+    """SPMD socket runs against the recording transport, bit for bit."""
+
+    @pytest.mark.parametrize("num_ranks", [2, 4])
+    @pytest.mark.parametrize("name,qubits", [("qft", 6), ("qaoa", 7)])
+    def test_bit_identical_to_recording(self, num_ranks, name, qubits):
+        qc, partition, fulls, transports, _ = spmd_engine_run(
+            num_ranks, name, qubits
+        )
+        state, _ = HiSVSimEngine(num_ranks=num_ranks).run(qc, partition)
+        reference = state.to_full()
+        for rank, full in enumerate(fulls):
+            assert np.array_equal(
+                full.view(np.uint8), reference.view(np.uint8)
+            ), f"rank {rank} diverged"
+
+    @pytest.mark.parametrize("backend", ["serial", "threaded"])
+    def test_backend_matrix(self, backend):
+        qc = generators.build("qft", 6)
+        partition = get_partitioner("dagP").partition(qc, 3)
+
+        def worker(rank, transport):
+            comm = SimComm(2, transport=transport)
+            engine = HiSVSimEngine(num_ranks=2, backend=backend, threads=2)
+            state, _ = engine.run(qc, partition, comm=comm)
+            return state.to_full()
+
+        state, _ = HiSVSimEngine(num_ranks=2, backend="serial").run(
+            qc, partition
+        )
+        reference = state.to_full()
+        for full in run_spmd(2, worker):
+            assert np.array_equal(
+                full.view(np.uint8), reference.view(np.uint8)
+            )
+
+    def test_matches_flat_simulator(self):
+        qc, _, fulls, _, _ = spmd_engine_run(4, "adder", 6)
+        sim = StateVectorSimulator(6)
+        sim.run(qc)
+        assert np.allclose(fulls[0], sim.state, atol=1e-10)
+
+    def test_reports_agree_with_recording(self):
+        qc, partition, _, _, reports = spmd_engine_run(2, "qft", 6)
+        _, reference = HiSVSimEngine(num_ranks=2).run(qc, partition)
+        for report in reports:
+            assert report.comm.steps == reference.comm.steps
+            # Rank totals are the rank's own traffic; their sum over the
+            # symmetric volume equals the recording global.
+        total = sum(r.comm.total_bytes for r in reports)
+        # Each rank counts its sends; recording counts global volume.
+        assert total == reference.comm.total_bytes
+
+
+class TestTrafficOracle:
+    """Observed wire records against the closed-form per-rank model."""
+
+    @pytest.mark.parametrize("num_ranks", [2, 4])
+    def test_records_match_model_exactly(self, num_ranks):
+        name, qubits = "qft", 6
+        qc, partition, _, transports, _ = spmd_engine_run(
+            num_ranks, name, qubits
+        )
+        expected = engine_exchange_layouts(partition, qubits, num_ranks)
+        local_bits = qubits - (num_ranks.bit_length() - 1)
+        for rank, transport in enumerate(transports):
+            assert len(transport.records) == len(expected)
+            for record, (old, new) in zip(transport.records, expected):
+                model = exchange_rank_stats(old, new, local_bits, rank)
+                observed = (
+                    record.sent_bytes,
+                    record.sent_msgs,
+                    record.recv_bytes,
+                    record.recv_msgs,
+                )
+                assert observed == model
+
+    def test_payload_bytes_are_pure_amplitude_volume(self):
+        # wire_bytes carries framing + offsets; the modelled volume is
+        # amplitudes only, 16 bytes each, so they must differ whenever
+        # traffic flowed.
+        _, _, _, transports, _ = spmd_engine_run(2, "qft", 6)
+        for transport in transports:
+            for record in transport.records:
+                assert record.sent_bytes % AMP_BYTES == 0
+                if record.sent_msgs:
+                    assert record.wire_bytes > record.sent_bytes
+
+
+class TestDistWorkerCLI:
+    """Two real OS processes through `repro dist-worker`."""
+
+    def test_two_process_run(self, tmp_path):
+        port = _free_port()
+        env = dict(os.environ, PYTHONPATH=_src_path())
+        out = tmp_path / "rank0.npy"
+        procs = []
+        for rank in range(2):
+            cmd = [
+                sys.executable, "-m", "repro.cli", "dist-worker",
+                "--rank", str(rank), "--ranks", "2",
+                "--rendezvous", f"127.0.0.1:{port}",
+                "--circuit", "qft", "--qubits", "6",
+            ]
+            if rank == 0:
+                cmd += ["--out", str(out)]
+            procs.append(subprocess.Popen(
+                cmd, env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            ))
+        for rank, proc in enumerate(procs):
+            stdout, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, (rank, stdout, stderr)
+            assert '"verified": true' in stdout
+
+        qc = generators.build("qft", 6)
+        partition = get_partitioner("dagP").partition(qc, 3)
+        state, _ = HiSVSimEngine(num_ranks=2).run(qc, partition)
+        got = np.load(out)
+        assert np.array_equal(
+            got.view(np.uint8), state.to_full().view(np.uint8)
+        )
+
+    def test_bad_rank_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "dist-worker",
+             "--rank", "5", "--ranks", "2", "--circuit", "qft",
+             "--qubits", "4"],
+            env=dict(os.environ, PYTHONPATH=_src_path()),
+            capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 2
+        assert "out of range" in result.stdout
+
+
+class TestFaultInjection:
+    """Dropped peers and mangled frames fail cleanly, never hang."""
+
+    def test_connect_to_dead_port_bounded_retry(self):
+        port = _free_port()  # nothing listens here
+        with pytest.raises(TransportError) as excinfo:
+            SocketTransport.connect(
+                1, 2, ("127.0.0.1", port),
+                timeout=0.5, retries=2, backoff=0.01,
+            )
+        assert "3 attempts" in str(excinfo.value)
+
+    def test_peer_closes_mid_frame(self):
+        # A fake rank 0 accepts the rendezvous registration, starts the
+        # address-map frame, then slams the connection shut after half
+        # the length prefix — the worker must see "closed mid-frame",
+        # not hang waiting for the rest.
+        def fake_rank0(listener, failure):
+            try:
+                conn, _ = listener.accept()
+                conn.settimeout(5.0)
+                (length,) = struct.unpack(">Q", _read(conn, 8))
+                _read(conn, length)  # the (rank, port) registration
+                conn.sendall(b"\x00\x00\x00\x00")  # half a length prefix
+                conn.close()
+            except Exception as exc:  # pragma: no cover - debug aid
+                failure.append(exc)
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        failure = []
+        thread = threading.Thread(
+            target=fake_rank0, args=(listener, failure), daemon=True
+        )
+        thread.start()
+        try:
+            with pytest.raises(TransportError) as excinfo:
+                SocketTransport.connect(
+                    1, 2, listener.getsockname(),
+                    timeout=1.0, retries=1, backoff=0.01,
+                )
+            assert "closed mid-" in str(excinfo.value)
+        finally:
+            listener.close()
+            thread.join(5.0)
+        assert not failure
+
+    def test_truncated_frame_detected(self):
+        # Hand-build a 2-rank mesh, then have rank 1 send a frame whose
+        # header promises more bytes than the payload delivers.
+        def worker(rank, transport):
+            if rank == 0:
+                shards = np.zeros((1, 4), dtype=np.complex128)
+                shards[0, 0] = 1.0
+                dest_rank = np.full((1, 4), 1, dtype=np.int64)
+                dest_off = np.arange(4, dtype=np.int64).reshape(1, 4)
+                with pytest.raises(TransportError):
+                    transport.exchange(
+                        shards, dest_rank, dest_off, SimComm(2).stats
+                    )
+                return "detected"
+            # Rank 1 bypasses exchange(): writes a corrupt frame by hand.
+            peer = transport._peers[0]
+            header = struct.pack(">Q", 8 + 24)  # promises one entry
+            peer.sendall(header + struct.pack(">Q", 1))  # ...then stops
+            peer.shutdown(socket.SHUT_WR)
+            return "sent"
+
+        results = run_spmd(2, worker, timeout=30.0)
+        assert results[0] == "detected"
+
+    def test_peer_vanishes_mid_exchange(self):
+        # A peer that exits without ever sending its frame: its close()
+        # reaches the survivor as a clean per-rank TransportError, not a
+        # hang and not corrupted state.
+        def worker(rank, transport):
+            if rank == 0:
+                shards = np.zeros((1, 2), dtype=np.complex128)
+                dest_rank = np.zeros((1, 2), dtype=np.int64)
+                dest_off = np.arange(2, dtype=np.int64).reshape(1, 2)
+                with pytest.raises(TransportError):
+                    transport.exchange(
+                        shards, dest_rank, dest_off, SimComm(2).stats
+                    )
+                return "failed-clean"
+            return "vanished"  # never participates in the exchange
+
+        results = run_spmd(2, worker, timeout=30.0)
+        assert results[0] == "failed-clean"
+
+    def test_close_is_idempotent(self):
+        def worker(rank, transport):
+            transport.close()
+            transport.close()
+            return True
+
+        assert run_spmd(2, worker) == [True, True]
+
+
+class TestEnvDefaults:
+    def test_defaults_without_env(self, monkeypatch):
+        for key in ("REPRO_DIST_HOST", "REPRO_DIST_PORT",
+                    "REPRO_DIST_TIMEOUT", "REPRO_DIST_RETRIES",
+                    "REPRO_DIST_BACKOFF", "REPRO_DIST_TRANSPORT"):
+            monkeypatch.delenv(key, raising=False)
+        env = dist_env_defaults()
+        assert env["host"] == "127.0.0.1"
+        assert env["port"] == 29500
+        assert env["timeout"] == 30.0
+        assert env["retries"] == 5
+        assert env["transport"] == "socket"
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_PORT", "12345")
+        monkeypatch.setenv("REPRO_DIST_RETRIES", "1")
+        monkeypatch.setenv("REPRO_DIST_TRANSPORT", "recording")
+        env = dist_env_defaults()
+        assert env["port"] == 12345
+        assert env["retries"] == 1
+        assert env["transport"] == "recording"
+
+
+class TestRecordingTransport:
+    def test_is_the_default_seam(self):
+        comm = SimComm(2)
+        assert isinstance(comm.transport, RecordingTransport)
+        assert comm.rank is None
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            SimComm(4, transport=RecordingTransport(2))
+
+    def test_exchange_record_is_frozen(self):
+        record = ExchangeRecord(16, 1, 16, 1, 40)
+        with pytest.raises(AttributeError):
+            record.sent_bytes = 0
+
+
+def _free_port() -> int:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _src_path() -> str:
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(here, "src")
+    existing = os.environ.get("PYTHONPATH", "")
+    return f"{src}{os.pathsep}{existing}" if existing else src
+
+
+def _read(conn: socket.socket, count: int) -> bytes:
+    data = b""
+    while len(data) < count:
+        chunk = conn.recv(count - len(data))
+        if not chunk:
+            raise ConnectionError("peer closed")
+        data += chunk
+    return data

@@ -8,6 +8,7 @@ Usage::
     repro circuit bv --qubits 16     # inspect a generated circuit
     repro simulate qft --qubits 16 --no-fuse   # partitioned execution
     repro simulate qft --qubits 20 --backend threaded --threads 4
+    repro cut qaoa --qubits 30 --max-width 16 --shots 1024  # wire cutting
     repro batch jobs.json -o results.json      # batched serving runtime
     repro serve --port 8035 --workers 2        # resident serving daemon
     repro bench list                           # benchmark registry
@@ -170,6 +171,115 @@ def _simulate(args) -> int:
         if err > 1e-10:
             print("VERIFICATION FAILED")
             return 1
+    return 0
+
+
+def _cut(args) -> int:
+    """Cut, evaluate and recombine one circuit wider than one host."""
+    import json
+
+    import numpy as np
+
+    from .circuits import generators
+    from .cut import CutError, cut_run
+
+    qc = generators.build(args.name, args.qubits)
+    max_width = args.max_width
+    if max_width is None:
+        env = os.environ.get("REPRO_CUT_MAX_WIDTH")
+        if env is not None:
+            max_width = int(env)
+    if max_width is None:
+        print("repro cut needs --max-width (or REPRO_CUT_MAX_WIDTH)")
+        return 2
+    want_state = args.state or (args.verify and qc.num_qubits <= 24)
+    try:
+        result = cut_run(
+            qc,
+            max_width=max_width,
+            max_cuts=args.cuts,
+            strategy=args.strategy,
+            want_state=want_state,
+            shots=args.shots,
+            seed=args.seed,
+            observables=args.observables or (),
+            workers=args.workers,
+            fuse=args.fuse,
+            max_fused_qubits=args.max_fused_qubits,
+            backend=args.backend,
+            threads=args.threads,
+            method=args.method,
+        )
+    except CutError as exc:
+        print(f"cut failed: {exc}")
+        return 2
+    plan, trace = result.plan, result.trace
+    print(
+        f"{qc.name}: qubits={qc.num_qubits} gates={len(qc)} "
+        f"strategy={args.strategy} max_width={max_width}"
+    )
+    print(plan.summary())
+    print(trace.summary())
+    if result.counts is not None:
+        top = sorted(
+            result.counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:8]
+        shown = ", ".join(
+            f"{idx:0{qc.num_qubits}b}: {n}" for idx, n in top
+        )
+        print(f"counts ({sum(result.counts.values())} shots): {shown}"
+              + (" ..." if len(result.counts) > 8 else ""))
+    if result.expectations is not None:
+        for label, value in zip(args.observables, result.expectations):
+            print(f"<{label}> = {value:+.6f}")
+    if args.verify:
+        if qc.num_qubits > 24:
+            print(
+                "verify skipped: dense cross-check would materialise "
+                f"2^{qc.num_qubits} amplitudes"
+            )
+        else:
+            from .sv.simulator import StateVectorSimulator
+
+            sim = StateVectorSimulator(qc.num_qubits)
+            sim.run(qc)
+            err = float(np.max(np.abs(result.state - sim.state)))
+            print(f"max |cut - uncut| = {err:.3e}")
+            if err > 1e-10:
+                print("VERIFICATION FAILED")
+                return 1
+    if args.output:
+        payload = {
+            "circuit": qc.name,
+            "qubits": qc.num_qubits,
+            "gates": len(qc),
+            "strategy": args.strategy,
+            "max_width": max_width,
+            "cuts": plan.num_cuts,
+            "fragments": plan.num_fragments,
+            "fragment_widths": list(plan.widths),
+            "logical_variants": plan.num_variants,
+            "variants_evaluated": trace.variants_evaluated,
+            "seconds": trace.seconds,
+        }
+        if result.counts is not None:
+            payload["counts"] = {
+                str(k): v for k, v in result.counts.items()
+            }
+        if result.expectations is not None:
+            payload["expectations"] = {
+                label: value
+                for label, value in zip(
+                    args.observables, result.expectations
+                )
+            }
+        if args.state and result.state is not None:
+            payload["state"] = [
+                [float(a.real), float(a.imag)] for a in result.state
+            ]
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"results written to {args.output}")
     return 0
 
 
@@ -429,6 +539,70 @@ def main(argv=None) -> int:
     p_sim.add_argument("--verify", action="store_true",
                        help="cross-check against the flat simulator")
 
+    p_cut = sub.add_parser(
+        "cut",
+        help="wire-cut a wide circuit into narrow fragments and recombine",
+        description="Wire cutting (repro.cut): partition a circuit wider "
+                    "than one host's memory into fragments of at most "
+                    "--max-width qubits, evaluate the CutQC boundary "
+                    "variants through the hierarchical executor with "
+                    "shared plan structures, and contract the fragment "
+                    "tensors back into counts, Pauli expectations or the "
+                    "full state. Cost scales as 16^cuts logical terms; "
+                    "--cuts bounds the budget. Model and schema: "
+                    "docs/cutting.md.",
+    )
+    p_cut.add_argument("name", help="generator name (see `repro circuit`)")
+    p_cut.add_argument("--qubits", type=int, default=16)
+    p_cut.add_argument("--max-width", type=int, default=None,
+                       help="max fragment width in qubits (default: "
+                            "REPRO_CUT_MAX_WIDTH; required if unset)")
+    p_cut.add_argument("--cuts", type=int, default=None,
+                       help="reject plans needing more than this many "
+                            "wire cuts (default: no budget)")
+    p_cut.add_argument("--strategy", default="dagP",
+                       choices=["Nat", "DFS", "dagP"],
+                       help="partitioner used to find the cuts "
+                            "(default: dagP)")
+    p_cut.add_argument("--shots", type=int, default=0,
+                       help="sample this many measurement shots "
+                            "(default: 0 = none)")
+    p_cut.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for sampling (default: 0)")
+    p_cut.add_argument("--observables", nargs="*", default=None,
+                       metavar="PAULI",
+                       help="Pauli strings to take expectations of, "
+                            "e.g. ZZII XIXI")
+    p_cut.add_argument("--state", action="store_true",
+                       help="recombine (and with --output, save) the "
+                            "full dense state")
+    p_cut.add_argument("-o", "--output", default=None,
+                       help="write a JSON results file here")
+    p_cut.add_argument("--workers", type=int, default=None,
+                       help="concurrent fragment variants (default: "
+                            "REPRO_CUT_WORKERS, else 1)")
+    p_cut.add_argument("--fuse", dest="fuse", action="store_true",
+                       default=True,
+                       help="fuse fragment gates (default: on)")
+    p_cut.add_argument("--no-fuse", dest="fuse", action="store_false",
+                       help="one kernel sweep per gate")
+    p_cut.add_argument("--max-fused-qubits", type=int, default=5,
+                       help="arity cap for fused dense unitaries "
+                            "(default: 5)")
+    p_cut.add_argument("--backend", default=None,
+                       choices=["serial", "threaded", "process"],
+                       help="execution backend (default: REPRO_BACKEND, "
+                            "else serial)")
+    p_cut.add_argument("--threads", type=int, default=None,
+                       help="backend worker count (default: REPRO_THREADS)")
+    p_cut.add_argument("--method", default=None,
+                       choices=["auto", "dense", "stabilizer"],
+                       help="simulation method for fragments (default: "
+                            "REPRO_METHOD, else auto)")
+    p_cut.add_argument("--verify", action="store_true",
+                       help="cross-check the recombined state against "
+                            "the uncut flat simulator (<= 24 qubits)")
+
     p_batch = sub.add_parser(
         "batch",
         help="run a JSON job manifest through the batched serving runtime",
@@ -584,6 +758,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "cut":
+        return _cut(args)
     if args.command == "batch":
         return _batch(args)
     if args.command == "serve":

@@ -1,0 +1,188 @@
+"""Wire cutting: simulate circuits wider than memory on one host.
+
+The pipeline (see ``docs/cutting.md``):
+
+1. :mod:`~repro.cut.cutter` — find low-weight wire cuts by reusing the
+   acyclic partitioners at ``limit=max_width`` (a valid partition's
+   qubit-timeline transitions *are* wire cuts);
+2. :mod:`~repro.cut.fragments` — materialise each fragment's boundary
+   variants (``u3`` preparations and basis rotations, the CutQC
+   4-basis / 4-state decomposition);
+3. :mod:`~repro.cut.evaluate` — run variants through the existing
+   hierarchical executor via a :class:`~repro.serve.runner.BatchRunner`
+   (one partition and one compiled plan structure per fragment);
+4. :mod:`~repro.cut.recombine` — contract fragment tensors back into
+   the state, probabilities, seeded counts or Pauli expectations.
+
+:func:`cut_run` strings the stages together; ``repro cut`` is its CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import QuantumCircuit
+from ..sv.backend import ExecutionBackend
+from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS, PlanCache
+from ..sv.pauli import PauliTerm
+from .cutter import (
+    CutError,
+    CutFragment,
+    CutPlan,
+    WireCut,
+    find_cuts,
+    interaction_graph,
+    plan_from_assignment,
+    plan_from_partition,
+)
+from .evaluate import CutTrace, FragmentTensor, evaluate_fragments
+from .fragments import (
+    MEAS_BASES,
+    PREP_STATES,
+    amplitude_variants,
+    enumerate_variants,
+    quasi_variants,
+    variant_circuit,
+)
+from .recombine import (
+    bond_tensor,
+    dense_recombine_width,
+    quasi_probabilities,
+    recombine_counts,
+    recombine_expectations,
+    recombine_probabilities,
+    recombine_state,
+)
+
+__all__ = [
+    "CutError",
+    "CutFragment",
+    "CutPlan",
+    "CutResult",
+    "CutTrace",
+    "FragmentTensor",
+    "WireCut",
+    "MEAS_BASES",
+    "PREP_STATES",
+    "amplitude_variants",
+    "bond_tensor",
+    "cut_run",
+    "dense_recombine_width",
+    "enumerate_variants",
+    "evaluate_fragments",
+    "find_cuts",
+    "interaction_graph",
+    "plan_from_assignment",
+    "plan_from_partition",
+    "quasi_probabilities",
+    "quasi_variants",
+    "recombine_counts",
+    "recombine_expectations",
+    "recombine_probabilities",
+    "recombine_state",
+    "variant_circuit",
+]
+
+
+@dataclass
+class CutResult:
+    """Everything one :func:`cut_run` produced.
+
+    ``state`` / ``probabilities`` / ``counts`` / ``expectations`` are
+    ``None`` unless requested; ``plan`` and ``trace`` always describe
+    what ran and what it cost.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
+    >>> result = cut_run(qc, max_width=2, want_probabilities=True)
+    >>> result.counts is None, [float(round(p, 3)) for p in result.probabilities]
+    (True, [0.5, 0.0, 0.0, 0.5])
+    """
+
+    plan: CutPlan
+    trace: CutTrace
+    state: Optional[np.ndarray] = None
+    probabilities: Optional[np.ndarray] = None
+    counts: Optional[Dict[int, int]] = None
+    expectations: Optional[List[float]] = None
+
+
+def cut_run(
+    circuit: QuantumCircuit,
+    *,
+    max_width: Optional[int] = None,
+    max_cuts: Optional[int] = None,
+    strategy: str = "dagP",
+    plan: Optional[CutPlan] = None,
+    want_state: bool = False,
+    want_probabilities: bool = False,
+    shots: int = 0,
+    seed: int = 0,
+    observables: Sequence[PauliTerm] = (),
+    workers: Optional[int] = None,
+    fuse: bool = True,
+    max_fused_qubits: int = DEFAULT_MAX_FUSED_QUBITS,
+    backend: Union[None, str, ExecutionBackend] = None,
+    threads: Optional[int] = None,
+    method: Optional[str] = None,
+    plan_cache: Optional[PlanCache] = None,
+) -> CutResult:
+    """Cut, evaluate and recombine one circuit end to end.
+
+    Either pass a prebuilt ``plan`` or a ``max_width`` for
+    :func:`find_cuts` (``max_cuts`` bounds the 16^k budget).  Executor
+    knobs (``fuse`` / ``backend`` / ``method`` / ``threads`` /
+    ``plan_cache``) flow into fragment evaluation; ``workers`` fans
+    variants out (default ``REPRO_CUT_WORKERS``).
+
+    >>> from repro.circuits.generators import qaoa
+    >>> result = cut_run(qaoa(6, p=1), max_width=4, shots=32,
+    ...                  observables=["ZZIIII"])
+    >>> result.plan.num_cuts >= 1, sum(result.counts.values())
+    (True, 32)
+    >>> len(result.expectations)
+    1
+    """
+    if plan is None:
+        if max_width is None:
+            raise CutError("cut_run needs a plan or a max_width")
+        plan = find_cuts(
+            circuit, max_width, strategy=strategy, max_cuts=max_cuts
+        )
+    elif plan.circuit is not circuit and plan.circuit != circuit:
+        raise CutError("plan was built for a different circuit")
+    tensors, trace = evaluate_fragments(
+        plan,
+        mode="amplitude",
+        workers=workers,
+        strategy=strategy,
+        fuse=fuse,
+        max_fused_qubits=max_fused_qubits,
+        backend=backend,
+        threads=threads,
+        method=method,
+        plan_cache=plan_cache,
+    )
+    state = recombine_state(plan, tensors) if want_state else None
+    probabilities = (
+        recombine_probabilities(plan, tensors) if want_probabilities else None
+    )
+    counts = (
+        recombine_counts(plan, tensors, shots, seed) if shots else None
+    )
+    values = (
+        recombine_expectations(plan, tensors, observables)
+        if observables
+        else None
+    )
+    return CutResult(
+        plan=plan,
+        trace=trace,
+        state=state,
+        probabilities=probabilities,
+        counts=counts,
+        expectations=values,
+    )

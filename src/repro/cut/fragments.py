@@ -1,0 +1,237 @@
+"""Fragment subcircuits with measure/prepare boundary variants.
+
+Each :class:`~repro.cut.cutter.CutFragment` becomes a family of narrow
+circuits over its own working set: the fragment's gates with one
+``u3`` *preparation* prepended per incoming cut wire and one ``u3``
+*basis rotation* appended per outgoing cut wire.  CutQC's decomposition
+of the severed identity channel needs four preparation states
+(``zero`` / ``one`` / ``plus`` / ``plus_i``) and four measurement bases
+(``I`` / ``X`` / ``Y`` / ``Z``, with ``I`` sharing ``Z``'s rotation) —
+``16^k`` logical terms for ``k`` cuts (:func:`enumerate_variants`).
+
+For *exact* recombination the full quasiprobability sum is overkill:
+indexing the upstream fragment's state by the cut wire's computational
+basis bit and preparing the downstream wire in that bit contracts the
+bond directly, so :func:`amplitude_variants` needs only the two
+``zero`` / ``one`` preparations and identity rotations — ``2^in``
+circuits per fragment (see :mod:`repro.cut.recombine`).
+
+Every boundary op is emitted as a ``u3`` gate *even when it is the
+identity*, so all variants of one fragment share gate names, operands
+and order — the condition under which they share one partition and one
+compiled plan structure through the serving caches.  Variants differ
+only in ``u3`` parameters plus the ``cut_boundary`` tag that
+:func:`repro.serve.circuit_fingerprint` folds into the identity
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import product
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..circuits.circuit import QuantumCircuit
+from .cutter import CutError, CutFragment, CutPlan
+
+__all__ = [
+    "PREP_STATES",
+    "MEAS_BASES",
+    "PHYSICAL_BASES",
+    "prep_angles",
+    "meas_angles",
+    "variant_circuit",
+    "amplitude_variants",
+    "quasi_variants",
+    "enumerate_variants",
+    "num_amplitude_variants",
+]
+
+#: Preparation states of the CutQC decomposition, in canonical order.
+PREP_STATES: Tuple[str, ...] = ("zero", "one", "plus", "plus_i")
+
+#: Measurement bases of the CutQC decomposition. ``I`` reuses ``Z``'s
+#: rotation (same circuit, different classical post-processing).
+MEAS_BASES: Tuple[str, ...] = ("I", "X", "Y", "Z")
+
+#: Bases that need distinct physical circuits.
+PHYSICAL_BASES: Tuple[str, ...] = ("Z", "X", "Y")
+
+_PI = math.pi
+
+# u3(theta, phi, lam) |0> reaches any pure state; column 0 of the u3
+# matrix is the prepared state.
+_PREP_ANGLES: Dict[str, Tuple[float, float, float]] = {
+    "zero": (0.0, 0.0, 0.0),
+    "one": (_PI, 0.0, 0.0),
+    "plus": (_PI / 2, 0.0, 0.0),
+    "plus_i": (_PI / 2, _PI / 2, 0.0),
+}
+
+# Rotation mapping the basis' eigenvectors onto the computational basis:
+# X -> H = u3(pi/2, 0, pi); Y -> H S^dag = u3(pi/2, 0, pi/2).
+_MEAS_ANGLES: Dict[str, Tuple[float, float, float]] = {
+    "I": (0.0, 0.0, 0.0),
+    "Z": (0.0, 0.0, 0.0),
+    "X": (_PI / 2, 0.0, _PI),
+    "Y": (_PI / 2, 0.0, _PI / 2),
+}
+
+
+def prep_angles(state: str) -> Tuple[float, float, float]:
+    """``u3`` angles preparing ``state`` from ``|0>``.
+
+    >>> prep_angles("zero")
+    (0.0, 0.0, 0.0)
+    >>> prep_angles("bad")
+    Traceback (most recent call last):
+        ...
+    repro.cut.cutter.CutError: unknown preparation state 'bad'
+    """
+    try:
+        return _PREP_ANGLES[state]
+    except KeyError:
+        raise CutError(f"unknown preparation state {state!r}") from None
+
+
+def meas_angles(basis: str) -> Tuple[float, float, float]:
+    """``u3`` angles rotating ``basis`` measurement onto ``Z``.
+
+    >>> meas_angles("Z") == meas_angles("I")
+    True
+    >>> meas_angles("bad")
+    Traceback (most recent call last):
+        ...
+    repro.cut.cutter.CutError: unknown measurement basis 'bad'
+    """
+    try:
+        return _MEAS_ANGLES[basis]
+    except KeyError:
+        raise CutError(f"unknown measurement basis {basis!r}") from None
+
+
+def variant_circuit(
+    plan: CutPlan,
+    fragment: CutFragment,
+    preps: Sequence[str],
+    bases: Sequence[str],
+) -> QuantumCircuit:
+    """One boundary variant of a fragment as a standalone narrow circuit.
+
+    ``preps`` assigns a preparation state per entry of
+    ``fragment.in_cuts``; ``bases`` a measurement basis per entry of
+    ``fragment.out_cuts``.  Qubits are relabeled to ``0..width-1`` in
+    ascending global order.  The returned circuit carries a
+    ``cut_boundary`` attribute — a tuple of ``(kind, local_qubit,
+    label)`` triples — which the serve-layer fingerprint hashes so
+    variants never collide in result dedup while still sharing one
+    plan structure.
+
+    >>> from repro.cut.cutter import plan_from_assignment
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+    >>> plan = plan_from_assignment(qc, [0, 0, 1], max_width=2)
+    >>> v = variant_circuit(plan, plan.fragments[1], ["plus"], [])
+    >>> [g.name for g in v], v.cut_boundary
+    (['u3', 'cx'], (('prep', 0, 'plus'),))
+    """
+    if len(preps) != len(fragment.in_cuts):
+        raise CutError(
+            f"fragment {fragment.index}: {len(preps)} preparations for "
+            f"{len(fragment.in_cuts)} incoming cuts"
+        )
+    if len(bases) != len(fragment.out_cuts):
+        raise CutError(
+            f"fragment {fragment.index}: {len(bases)} bases for "
+            f"{len(fragment.out_cuts)} outgoing cuts"
+        )
+    local = {q: i for i, q in enumerate(fragment.qubits)}
+    qc = QuantumCircuit(
+        max(1, fragment.width),
+        name=f"{plan.circuit.name}/f{fragment.index}",
+    )
+    boundary: List[Tuple[str, int, str]] = []
+    for cut_id, state in zip(fragment.in_cuts, preps):
+        q = local[plan.cuts[cut_id].qubit]
+        qc.u3(*prep_angles(state), q)
+        boundary.append(("prep", q, state))
+    for g in fragment.gate_indices:
+        qc.append(plan.circuit[g].remap(local))
+    for cut_id, basis in zip(fragment.out_cuts, bases):
+        q = local[plan.cuts[cut_id].qubit]
+        qc.u3(*meas_angles(basis), q)
+        boundary.append(("meas", q, basis))
+    qc.cut_boundary = tuple(boundary)
+    return qc
+
+
+def num_amplitude_variants(fragment: CutFragment) -> int:
+    """Circuits needed for exact bond contraction: ``2^incoming``."""
+    return 1 << len(fragment.in_cuts)
+
+
+def amplitude_variants(
+    fragment: CutFragment,
+) -> Iterator[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """``(preps, bases)`` pairs for the exact amplitude contraction.
+
+    Incoming wires sweep the computational preparations ``zero`` /
+    ``one`` (first incoming cut is the least-significant bit of the
+    enumeration order); outgoing wires are read in the computational
+    basis, so every basis is ``I``.
+
+    >>> from repro.cut.cutter import CutFragment
+    >>> f = CutFragment(0, (0,), (0, 1), in_cuts=(3,), out_cuts=(5,),
+    ...                 terminal_qubits=(1,))
+    >>> list(amplitude_variants(f))
+    [(('zero',), ('I',)), (('one',), ('I',))]
+    """
+    bases = ("I",) * len(fragment.out_cuts)
+    for bits in range(1 << len(fragment.in_cuts)):
+        preps = tuple(
+            PREP_STATES[(bits >> i) & 1]
+            for i in range(len(fragment.in_cuts))
+        )
+        yield preps, bases
+
+
+def quasi_variants(
+    fragment: CutFragment,
+) -> Iterator[Tuple[Tuple[str, ...], Tuple[str, ...]]]:
+    """``(preps, bases)`` pairs for the full CutQC decomposition.
+
+    All four preparations per incoming wire crossed with the three
+    *physical* bases per outgoing wire (``I`` shares ``Z``'s circuit):
+    ``4^in * 3^out`` circuits realising the ``4^in * 4^out`` logical
+    terms of this fragment.
+
+    >>> from repro.cut.cutter import CutFragment
+    >>> f = CutFragment(0, (0,), (0,), in_cuts=(), out_cuts=(0,),
+    ...                 terminal_qubits=(0,))
+    >>> [b for _, (b,) in quasi_variants(f)]
+    ['Z', 'X', 'Y']
+    """
+    for preps in product(PREP_STATES, repeat=len(fragment.in_cuts)):
+        for bases in product(PHYSICAL_BASES, repeat=len(fragment.out_cuts)):
+            yield preps, bases
+
+
+def enumerate_variants(
+    plan: CutPlan,
+) -> Iterator[Tuple[Tuple[str, str], ...]]:
+    """All ``16^k`` logical terms of the CutQC decomposition.
+
+    Yields one ``(basis, prep)`` pair per cut, in ``cut_id`` order —
+    the classical post-processing sum :attr:`CutPlan.num_variants`
+    prices.  Exhausting the iterator yields exactly ``16^k`` items.
+
+    >>> from repro.cut.cutter import plan_from_assignment
+    >>> qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+    >>> plan = plan_from_assignment(qc, [0, 0, 1], max_width=2)
+    >>> terms = list(enumerate_variants(plan))
+    >>> len(terms) == plan.num_variants == 16
+    True
+    >>> terms[0], terms[-1]
+    ((('I', 'zero'),), (('Z', 'plus_i'),))
+    """
+    per_cut = tuple(product(MEAS_BASES, PREP_STATES))
+    return product(per_cut, repeat=plan.num_cuts)

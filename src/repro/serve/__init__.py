@@ -3,10 +3,14 @@
 The entry point for workloads that simulate *many* circuits — parameter
 sweeps, benchmark families, request queues — instead of one.  Jobs
 (:class:`SimJob`) are canonicalised to structural fingerprints
-(:func:`circuit_fingerprint`) and routed through shared partition and
-plan caches, so structurally identical circuits pay partitioning,
+(:func:`structural_fingerprint`) and routed through shared partition
+and plan caches, so structurally identical circuits pay partitioning,
 fusion grouping and gather-table construction exactly once
-(:class:`BatchRunner`).  ``repro batch`` drives one manifest end to
+(:class:`BatchRunner`); :func:`circuit_fingerprint` is the *identity*
+key on results, which additionally separates wire-cut boundary
+variants (``cut_boundary`` tags) that are structurally identical on
+purpose.  A job carrying a ``cut`` spec routes through
+:mod:`repro.cut` instead of simulating its full width.  ``repro batch`` drives one manifest end to
 end; ``repro serve`` (:class:`ServeDaemon`) keeps the same runner
 resident behind an asyncio HTTP/JSON API — bounded admission
 (:class:`AdmissionQueue`), fingerprint-affine dispatch, a TTL'd
@@ -21,6 +25,7 @@ from .jobs import (
     circuit_fingerprint,
     load_manifest,
     results_to_manifest,
+    structural_fingerprint,
 )
 from .queue import AdmissionQueue, QueueClosed, QueuedJob, QueueFull
 from .runner import BatchReport, BatchRunner, BatchStats, default_limit
@@ -31,6 +36,7 @@ __all__ = [
     "SimJob",
     "JobResult",
     "circuit_fingerprint",
+    "structural_fingerprint",
     "load_manifest",
     "results_to_manifest",
     "BatchRunner",

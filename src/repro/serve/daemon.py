@@ -44,7 +44,11 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..sv.backend import ExecutionBackend
 from ..sv.fusion import DEFAULT_MAX_FUSED_QUBITS
-from .jobs import circuit_fingerprint, load_manifest, results_to_manifest
+from .jobs import (
+    load_manifest,
+    results_to_manifest,
+    structural_fingerprint,
+)
 from .queue import AdmissionQueue, QueueClosed, QueuedJob, QueueFull
 from .runner import BatchRunner
 from .store import ResultStore
@@ -521,7 +525,9 @@ class ServeDaemon:
             batch_id = f"b{self._batch_seq}"
             handles = [f"{batch_id}.{job.job_id}" for job in jobs]
             entries = [
-                QueuedJob(handle, job, circuit_fingerprint(job.circuit))
+                # Affinity buckets key on *structure*: boundary variants
+                # of one cut fragment batch together and share caches.
+                QueuedJob(handle, job, structural_fingerprint(job.circuit))
                 for handle, job in zip(handles, jobs)
             ]
             for handle, job in zip(handles, jobs):

@@ -33,6 +33,7 @@ __all__ = [
     "SimJob",
     "JobResult",
     "circuit_fingerprint",
+    "structural_fingerprint",
     "load_manifest",
     "results_to_manifest",
 ]
@@ -52,28 +53,65 @@ _RUNNER_OPTION_KEYS = (
 )
 
 
-def circuit_fingerprint(circuit: QuantumCircuit) -> str:
-    """Canonical fingerprint of a circuit's *structure* (params excluded).
+def structural_fingerprint(circuit: QuantumCircuit) -> str:
+    """Fingerprint of a circuit's *structure* (params excluded).
 
     Hashes the register width and the ordered ``(name, qubits)`` list;
     gate parameters are deliberately left out.  Two circuits share a
-    fingerprint exactly when they share gate names, operands and order —
-    the condition under which they partition identically and their
-    fused-plan structures (groupings, gather tables) are interchangeable.
+    structural fingerprint exactly when they share gate names, operands
+    and order — the condition under which they partition identically
+    and their fused-plan structures (groupings, gather tables) are
+    interchangeable.  This is the cache key for partitions, compiled
+    plan structures and schedule grouping.
 
     >>> from repro.circuits.generators import qaoa
     >>> a = qaoa(6, p=1, gammas=[0.1], betas=[0.2])
     >>> b = qaoa(6, p=1, gammas=[0.8], betas=[0.3])   # same graph, new angles
-    >>> circuit_fingerprint(a) == circuit_fingerprint(b)
+    >>> structural_fingerprint(a) == structural_fingerprint(b)
     True
     >>> c = qaoa(6, p=2)                              # extra round: new structure
-    >>> circuit_fingerprint(a) == circuit_fingerprint(c)
+    >>> structural_fingerprint(a) == structural_fingerprint(c)
     False
     """
     h = hashlib.sha256()
     h.update(f"n={circuit.num_qubits}\n".encode())
     for g in circuit:
         h.update(f"{g.name}:{','.join(map(str, g.qubits))}\n".encode())
+    return h.hexdigest()
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Canonical *identity* fingerprint of a circuit.
+
+    Extends :func:`structural_fingerprint` with the circuit's
+    ``cut_boundary`` tags (set by
+    :func:`repro.cut.fragments.variant_circuit` on wire-cut fragment
+    variants).  Boundary variants differ only in ``u3`` parameters —
+    structurally identical on purpose, so they share one partition and
+    one plan structure — but they are *different computations*, and a
+    fingerprint used for result identity (serve dedup, result routing)
+    must never collide them.  For circuits without boundary tags the
+    two fingerprints are equal, so nothing changes for ordinary jobs.
+
+    >>> from repro.circuits.circuit import QuantumCircuit
+    >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
+    >>> circuit_fingerprint(qc) == structural_fingerprint(qc)
+    True
+    >>> tagged = qc.copy(); tagged.cut_boundary = (("prep", 0, "plus"),)
+    >>> circuit_fingerprint(tagged) == circuit_fingerprint(qc)
+    False
+    >>> structural_fingerprint(tagged) == structural_fingerprint(qc)
+    True
+    """
+    boundary = getattr(circuit, "cut_boundary", ())
+    if not boundary:
+        return structural_fingerprint(circuit)
+    h = hashlib.sha256()
+    h.update(f"n={circuit.num_qubits}\n".encode())
+    for g in circuit:
+        h.update(f"{g.name}:{','.join(map(str, g.qubits))}\n".encode())
+    for kind, qubit, label in boundary:
+        h.update(f"cut:{kind}:{qubit}:{label}\n".encode())
     return h.hexdigest()
 
 
@@ -97,12 +135,22 @@ class SimJob:
     observables:
         Pauli strings (``"ZZII"`` style or ``{qubit: op}`` maps) whose
         expectation values to return, in order.
+    cut:
+        When set, run the job through the wire-cutting pipeline
+        (:mod:`repro.cut`) instead of simulating the full width
+        directly.  A mapping with ``max_width`` (required, ``>= 2``)
+        plus optional ``cuts`` (cut budget), ``strategy`` and
+        ``workers`` (variant fan-out) keys.
 
     >>> from repro.circuits.circuit import QuantumCircuit
     >>> qc = QuantumCircuit(2).h(0).cx(0, 1)
     >>> job = SimJob("bell", qc, shots=16, observables=("ZZ",))
     >>> job.wants_anything
     True
+    >>> SimJob("c", qc, shots=4, cut={"cuts": 2})
+    Traceback (most recent call last):
+        ...
+    ValueError: cut spec needs an integer 'max_width' >= 2
     """
 
     job_id: str
@@ -111,11 +159,24 @@ class SimJob:
     shots: int = 0
     seed: Optional[int] = None
     observables: Tuple[PauliTerm, ...] = ()
+    cut: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.shots < 0:
             raise ValueError("shots must be >= 0")
         object.__setattr__(self, "observables", tuple(self.observables))
+        if self.cut is not None:
+            if not isinstance(self.cut, dict):
+                raise ValueError("cut spec must be a mapping")
+            unknown = set(self.cut) - {"max_width", "cuts", "strategy", "workers"}
+            if unknown:
+                raise ValueError(
+                    f"unknown cut spec keys: {', '.join(sorted(unknown))}"
+                )
+            width = self.cut.get("max_width")
+            if not isinstance(width, int) or isinstance(width, bool) \
+                    or width < 2:
+                raise ValueError("cut spec needs an integer 'max_width' >= 2")
 
     @property
     def wants_anything(self) -> bool:
@@ -272,6 +333,7 @@ def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
         want_state = bool(entry.get("state", False))
         if not (want_state or shots or observables):
             want_state = True
+        cut = entry.get("cut")
         jobs.append(
             SimJob(
                 job_id=job_id,
@@ -280,6 +342,7 @@ def load_manifest(source) -> Tuple[List[SimJob], Dict[str, Any]]:
                 shots=shots,
                 seed=None if seed is None else int(seed),
                 observables=observables,
+                cut=None if cut is None else dict(cut),
             )
         )
     return jobs, options

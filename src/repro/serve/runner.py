@@ -37,7 +37,12 @@ from ..sv.hier import ExecutionTrace, HierarchicalExecutor
 from ..sv.pauli import expectations
 from ..sv.simulator import sample_counts
 from ..sv.stabilizer import StabilizerState
-from .jobs import JobResult, SimJob, circuit_fingerprint
+from .jobs import (
+    JobResult,
+    SimJob,
+    circuit_fingerprint,
+    structural_fingerprint,
+)
 from .scheduler import order_jobs
 
 __all__ = ["BatchRunner", "BatchReport", "BatchStats", "default_limit"]
@@ -336,11 +341,17 @@ class BatchRunner:
     # -- execution ---------------------------------------------------------
 
     def _run_one(
-        self, job: SimJob, fingerprint: str, counters: _RunCounters
+        self,
+        job: SimJob,
+        fingerprint: str,
+        structural: str,
+        counters: _RunCounters,
     ) -> JobResult:
+        if job.cut is not None:
+            return self._run_cut(job, fingerprint)
         t0 = time.perf_counter()
         partition, cached = self._partition_for(
-            job.circuit, fingerprint, counters
+            job.circuit, structural, counters
         )
         trace = ExecutionTrace()
         state = self._executor.run(
@@ -348,7 +359,7 @@ class BatchRunner:
             partition,
             self._executor.initial_state(job.circuit),
             trace,
-            structural_key=fingerprint,
+            structural_key=structural,
             cache_counters=counters.cache,
         )
         routed_dense = trace.engine_parts.get("dense", 0)
@@ -388,8 +399,55 @@ class BatchRunner:
             expectations=values,
         )
 
+    def _run_cut(self, job: SimJob, fingerprint: str) -> JobResult:
+        """Route a cut-spec job through the wire-cutting pipeline.
+
+        The fragment-variant batch runs on an inner runner that shares
+        this runner's plan cache (repeat cut jobs reuse compiled
+        structures) and inherits its executor configuration.
+        ``num_parts`` on the result counts *fragments*;
+        ``partition_cached`` is always ``False`` — fragment partitions
+        live in the cut pipeline, not this runner's partition cache.
+        """
+        from ..cut import cut_run
+
+        t0 = time.perf_counter()
+        spec = job.cut
+        result = cut_run(
+            job.circuit,
+            max_width=spec["max_width"],
+            max_cuts=spec.get("cuts"),
+            strategy=spec.get("strategy", self.strategy),
+            want_state=job.want_state,
+            shots=job.shots,
+            seed=0 if job.seed is None else job.seed,
+            observables=job.observables,
+            workers=spec.get("workers"),
+            fuse=self._executor.fuse,
+            max_fused_qubits=self._executor.max_fused_qubits,
+            backend=self._executor.backend,
+            method=self._executor.method,
+            plan_cache=self.plan_cache,
+        )
+        return JobResult(
+            job_id=job.job_id,
+            fingerprint=fingerprint,
+            num_qubits=job.circuit.num_qubits,
+            num_gates=len(job.circuit),
+            num_parts=result.plan.num_fragments,
+            seconds=time.perf_counter() - t0,
+            partition_cached=False,
+            state=result.state,
+            counts=result.counts,
+            expectations=result.expectations,
+        )
+
     def _run_one_safe(
-        self, job: SimJob, fingerprint: str, counters: _RunCounters
+        self,
+        job: SimJob,
+        fingerprint: str,
+        structural: str,
+        counters: _RunCounters,
     ) -> JobResult:
         """Run one job, converting any failure into an errored result.
 
@@ -402,7 +460,7 @@ class BatchRunner:
         """
         t0 = time.perf_counter()
         try:
-            return self._run_one(job, fingerprint, counters)
+            return self._run_one(job, fingerprint, structural, counters)
         except Exception as exc:
             return JobResult(
                 job_id=job.job_id,
@@ -428,13 +486,17 @@ class BatchRunner:
         """
         t0 = time.perf_counter()
         counters = _RunCounters()
+        # Identity fingerprints name the result (distinct per boundary
+        # variant); structural fingerprints key every cache and the
+        # schedule grouping (variants share them by design).
         fingerprints = [circuit_fingerprint(j.circuit) for j in jobs]
-        order = order_jobs(self.schedule, fingerprints)
+        structurals = [structural_fingerprint(j.circuit) for j in jobs]
+        order = order_jobs(self.schedule, structurals)
         results: List[Optional[JobResult]] = [None] * len(jobs)
         if self.workers == 1 or len(jobs) <= 1:
             for i in order:
                 results[i] = self._run_one_safe(
-                    jobs[i], fingerprints[i], counters
+                    jobs[i], fingerprints[i], structurals[i], counters
                 )
         else:
             with ThreadPoolExecutor(
@@ -447,6 +509,7 @@ class BatchRunner:
                             self._run_one_safe,
                             jobs[i],
                             fingerprints[i],
+                            structurals[i],
                             counters,
                         ),
                     )
@@ -456,7 +519,7 @@ class BatchRunner:
                     results[i] = f.result()
         stats = BatchStats(
             num_jobs=len(jobs),
-            unique_structures=len(set(fingerprints)),
+            unique_structures=len(set(structurals)),
             partitions_computed=counters.partitions_computed,
             partition_hits=counters.partition_hits,
             structures_compiled=counters.cache.structure_misses,

@@ -35,6 +35,7 @@ from repro.cli import main as cli_main
 ALL_BENCHMARKS = {
     "ablation",
     "batch",
+    "cut",
     "fig5",
     "fig6",
     "fig7",
@@ -55,7 +56,8 @@ ALL_BENCHMARKS = {
     "transport",
 }
 
-SMOKE_REQUIRED = {"fusion", "parallel", "batch", "stabilizer", "transport"}
+SMOKE_REQUIRED = {"fusion", "parallel", "batch", "stabilizer", "transport",
+                  "cut"}
 
 
 def make_result(name="demo", metrics=None, params=None, times=(0.2, 0.1, 0.3)):
@@ -137,7 +139,7 @@ class TestRegistry:
     def test_discovers_all_benchmarks(self):
         registry = load_benchmarks()
         assert set(registry) >= ALL_BENCHMARKS
-        assert len(ALL_BENCHMARKS) == 20
+        assert len(ALL_BENCHMARKS) == 21
 
     def test_smoke_tag_covers_fusion_parallel_batch(self):
         registry = load_benchmarks()
@@ -356,7 +358,7 @@ class TestCli:
         out = capsys.readouterr().out
         for name in ("fusion", "parallel", "batch"):
             assert name in out
-        assert "20 benchmarks" in out
+        assert "21 benchmarks" in out
 
     def test_bench_run_smoke_tiny_and_compare(self, capsys, tmp_path,
                                               monkeypatch):

@@ -17,6 +17,7 @@ REQUIRED_PAGES = [
     "docs/benchmarks.md",
     "docs/serving.md",
     "docs/configuration.md",
+    "docs/cutting.md",
 ]
 
 

@@ -21,6 +21,11 @@ import repro.dist.exchange
 import repro.dist.hisvsim
 import repro.dist.iqs
 import repro.dist.state
+import repro.cut
+import repro.cut.cutter
+import repro.cut.evaluate
+import repro.cut.fragments
+import repro.cut.recombine
 import repro.partition
 import repro.partition.base
 import repro.partition.dagp.driver
@@ -74,6 +79,11 @@ DOCTEST_MODULES = [
     repro.dist.exchange,
     repro.dist.hisvsim,
     repro.dist.iqs,
+    repro.cut,
+    repro.cut.cutter,
+    repro.cut.fragments,
+    repro.cut.evaluate,
+    repro.cut.recombine,
     repro.serve.jobs,
     repro.serve.scheduler,
     repro.serve.runner,
@@ -90,9 +100,11 @@ DATA_EXPORTS = {
     "STRATEGIES",
     "SCHEDULES",
     "PauliTerm",
+    "MEAS_BASES",
+    "PREP_STATES",
 }
 
-PACKAGES = [repro.sv, repro.partition, repro.dist, repro.serve]
+PACKAGES = [repro.sv, repro.partition, repro.dist, repro.serve, repro.cut]
 
 
 @pytest.mark.parametrize(

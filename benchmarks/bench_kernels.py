@@ -2,18 +2,86 @@
 
 Not a paper table; these back the Sec. III-A roofline discussion and
 guard against kernel performance regressions (diagonal fast path, batched
-application, gather tables).
+application, gather tables, and the gather-free strided path for small
+fused groups — see docs/backends.md).
+
+Acceptance (``test_strided_vs_gather_speedup``): the strided sweep of a
+single 2-qubit part must beat the gather sweep by
+``REPRO_BENCH_KERNELS_STRIDED_MIN_SPEEDUP`` (default ``1.5``; set ``0``
+to smoke-test correctness only) while staying bit-identical.
 """
+
+import os
 
 import numpy as np
 import pytest
 
+from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import make_gate
-from repro.sv.kernels import apply_gate, apply_gate_batched
+from repro.sv.backend import _run_part_serial
+from repro.sv.fusion import compile_part
+from repro.sv.kernels import (
+    apply_gate,
+    apply_gate_batched,
+    bytes_touched_gather_part,
+    bytes_touched_strided,
+)
 from repro.sv.layout import gather_index_table
 from repro.sv.simulator import random_state
 
 N = 18  # 2^18 amplitudes = 4 MB
+
+DEFAULT_STRIDED_MIN_SPEEDUP = 1.5
+
+
+def strided_min_speedup() -> float:
+    value = os.environ.get("REPRO_BENCH_KERNELS_STRIDED_MIN_SPEEDUP")
+    return DEFAULT_STRIDED_MIN_SPEEDUP if value in (None, "") else float(value)
+
+
+def _single_op_part(n: int):
+    """A compiled one-op part (cx over non-adjacent qubits) plus state.
+
+    The working set dedupes because the candidates collide at small
+    widths (the bench CLI smoke test shrinks ``qubits`` to 8).
+    """
+    qc = QuantumCircuit(n).cx(2, n // 2)
+    ws = sorted({2, n // 2, 4, n - 4, n - 2})
+    plan = compile_part(qc, [0], ws)
+    return plan, random_state(n, seed=0)
+
+
+def measure_strided_vs_gather(n: int, repeats: int = 5):
+    """Best-of wall time for one part sweep on each kernel path."""
+    from repro import bench
+
+    plan, state = _single_op_part(n)
+    results = {}
+    for label, strided_max in (("strided", 2), ("gather", -1)):
+        work = state.copy()
+
+        def sweep():
+            return _run_part_serial(plan, work, n, "batched", strided_max)
+
+        stats, path = bench.measure(sweep, repeats=repeats, warmup=1)
+        assert path == label
+        results[label] = stats.min
+    a, b = state.copy(), state.copy()
+    _run_part_serial(plan, a, n, "batched", 2)
+    _run_part_serial(plan, b, n, "batched", -1)
+    return {
+        "qubits": n,
+        "strided_s": results["strided"],
+        "gather_s": results["gather"],
+        "speedup": (
+            results["gather"] / results["strided"]
+            if results["strided"] > 0
+            else float("inf")
+        ),
+        "bit_identical": bool(np.array_equal(a, b)),
+        "strided_bytes": bytes_touched_strided(n),
+        "gather_bytes": bytes_touched_gather_part(n, plan.num_ops),
+    }
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +144,45 @@ def test_gather_scatter_roundtrip(benchmark, state):
     benchmark(roundtrip)
 
 
+def test_strided_part_sweep(benchmark):
+    plan, state = _single_op_part(N)
+    work = state.copy()
+    benchmark(lambda: _run_part_serial(plan, work, N, "batched", 2))
+
+
+def test_gather_part_sweep(benchmark):
+    plan, state = _single_op_part(N)
+    work = state.copy()
+    benchmark(lambda: _run_part_serial(plan, work, N, "batched", -1))
+
+
+def test_strided_vs_gather_speedup(save_result):
+    """Acceptance: the gather-free path must actually pay off.
+
+    The traffic model says a single 2-qubit group moves ~3x fewer bytes
+    without the gather matrix; the wall-clock floor
+    (``REPRO_BENCH_KERNELS_STRIDED_MIN_SPEEDUP``) checks that the
+    savings survive contact with a real memory system, and the bitwise
+    check pins the paths to each other exactly.
+    """
+    floor = strided_min_speedup()
+    res = measure_strided_vs_gather(N)
+    save_result(
+        "bench_kernels_strided",
+        f"strided vs gather (1-op part, n={N}): "
+        f"strided {res['strided_s'] * 1e3:.2f}ms, "
+        f"gather {res['gather_s'] * 1e3:.2f}ms "
+        f"({res['speedup']:.2f}x, floor {floor}x); "
+        f"bytes {res['strided_bytes']} vs {res['gather_bytes']}",
+    )
+    assert res["bit_identical"], "strided state deviates from gather"
+    assert res["strided_bytes"] < res["gather_bytes"]
+    assert res["speedup"] >= floor, (
+        f"strided speedup {res['speedup']:.2f}x below floor {floor}x "
+        f"(override with REPRO_BENCH_KERNELS_STRIDED_MIN_SPEEDUP)"
+    )
+
+
 # -- repro.bench registration ------------------------------------------------
 
 from repro import bench
@@ -91,7 +198,13 @@ from repro import bench
 )
 def run_bench(params):
     """Kernel sweep micro-benchmark: the six reference gate applications
-    plus gather-table construction on one state."""
+    plus gather-table construction, and strided-vs-gather part sweeps.
+
+    The strided byte counts and bitwise agreement are deterministic and
+    gated by the perf compare; measured speedups are host-dependent and
+    stay in ``info`` (the pytest acceptance test carries the
+    ``REPRO_BENCH_KERNELS_STRIDED_MIN_SPEEDUP`` floor).
+    """
     n = params["qubits"]
     work = random_state(n, seed=0).copy()
     gates = [
@@ -108,6 +221,7 @@ def run_bench(params):
     table = gather_index_table(n, targets)
     norm = float(np.vdot(work, work).real)
     norm_preserved = abs(norm - 1.0) < 1e-9
+    strided = measure_strided_vs_gather(n, repeats=3)
     return bench.payload(
         metrics={
             "qubits": n,
@@ -115,7 +229,16 @@ def run_bench(params):
             "gather_rows": int(table.shape[0]),
             "gather_cols": int(table.shape[1]),
             "norm_preserved": norm_preserved,
+            "strided_bit_identical": strided["bit_identical"],
+            "strided_bytes": strided["strided_bytes"],
+            "gather_part_bytes": strided["gather_bytes"],
         },
-        info={"norm": norm},
-        ok=norm_preserved,
+        info={
+            "norm": norm,
+            "strided_s": strided["strided_s"],
+            "gather_s": strided["gather_s"],
+            "strided_speedup": strided["speedup"],
+        },
+        ok=norm_preserved and strided["bit_identical"]
+        and strided["strided_bytes"] < strided["gather_bytes"],
     )

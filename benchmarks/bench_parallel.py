@@ -38,6 +38,7 @@ from repro import bench
 from repro.circuits import generators
 from repro.partition import get_partitioner
 from repro.sv import (
+    ArrayBackend,
     HierarchicalExecutor,
     SerialBackend,
     ThreadedBackend,
@@ -112,6 +113,42 @@ def run_comparison(circuits=CIRCUITS, qubits=DEFAULT_QUBITS,
     return [measure_circuit(c, qubits, threads, repeats) for c in circuits]
 
 
+def measure_array_backend(name: str, qubits: int):
+    """Array backend (NumPy module) vs serial on one circuit.
+
+    The NumPy module shares the serial kernels, so bitwise identity is
+    the contract here too; the wall-time ratio shows the dispatch seam
+    costs nothing (see docs/backends.md for the device-module story).
+    """
+    qc = generators.build(name, qubits)
+    p = get_partitioner("dagP").partition(qc, max(3, qubits - 3))
+    serial = zero_state(qubits)
+    stats_serial, _ = bench.measure(
+        lambda: HierarchicalExecutor(backend=SerialBackend()).run(
+            qc, p, serial
+        ),
+        repeats=1, warmup=0,
+    )
+    array_state = zero_state(qubits)
+    backend = ArrayBackend()
+    try:
+        stats_array, _ = bench.measure(
+            lambda: HierarchicalExecutor(backend=backend).run(
+                qc, p, array_state
+            ),
+            repeats=1, warmup=0,
+        )
+    finally:
+        backend.close()
+    return {
+        "circuit": qc.name,
+        "module": backend.module.name,
+        "serial_s": stats_serial.min,
+        "array_s": stats_array.min,
+        "bit_identical": bool(np.array_equal(serial, array_state)),
+    }
+
+
 def render(results) -> str:
     threads = results[0]["threads"] if results else DEFAULT_THREADS
     lines = [
@@ -146,6 +183,19 @@ def test_qft22_threaded_speedup(save_result):
         f"threaded speedup {res['speedup']:.2f}x below floor {min_speedup}x "
         f"(override with REPRO_BENCH_PARALLEL_MIN_SPEEDUP)"
     )
+
+
+def test_array_backend_bit_identical(save_result):
+    """The array backend's NumPy module owes bitwise parity with serial."""
+    qubits, _, _ = acceptance_settings()
+    res = measure_array_backend("qft", max(qubits - 4, 4))
+    save_result(
+        "bench_parallel_array",
+        f"array[{res['module']}] vs serial on {res['circuit']}: "
+        f"serial {res['serial_s']:.3f}s, array {res['array_s']:.3f}s, "
+        f"{'bitwise equal' if res['bit_identical'] else 'DIFFER'}",
+    )
+    assert res["bit_identical"], "array[numpy] state deviates from serial"
 
 
 def test_parallel_comparison_table(save_result):
@@ -195,8 +245,17 @@ def run_bench(params):
         info[f"{requested}_serial_s"] = r["serial_s"]
         info[f"{requested}_threaded_s"] = r["threaded_s"]
         info[f"{requested}_speedup"] = r["speedup"]
+    array_res = measure_array_backend(
+        params["circuits"][0], params["qubits"]
+    )
+    metrics["array_module"] = array_res["module"]
+    metrics["array_bit_identical"] = array_res["bit_identical"]
+    info["array_serial_s"] = array_res["serial_s"]
+    info["array_s"] = array_res["array_s"]
     return bench.payload(
-        metrics, info, ok=all(r["bit_identical"] for r in results)
+        metrics, info,
+        ok=all(r["bit_identical"] for r in results)
+        and array_res["bit_identical"],
     )
 
 

@@ -7,7 +7,10 @@ repo's README + docs tree when run without arguments):
 * relative file targets must exist (resolved against the linking file);
 * ``#anchors`` — standalone or on a file target — must match a heading
   in the target file (GitHub slug rules: lowercase, punctuation
-  stripped, spaces to hyphens);
+  stripped, spaces to hyphens).  ATX (``## Title``) and setext
+  (underlined) headings both count, as do explicit ``<a id="...">`` /
+  ``<a name="...">`` anchors; an anchor into a directory is always
+  broken (directories have no headings);
 * ``http(s)://`` targets are counted but not fetched (CI is offline).
 
 Exit status 1 when any link is broken.  Used by the CI docs job::
@@ -24,6 +27,8 @@ from typing import Dict, List, Set, Tuple
 
 LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*#*\s*$")
+SETEXT_RE = re.compile(r"^(=+|-+)\s*$")
+HTML_ANCHOR_RE = re.compile(r"<a\s+(?:id|name)=[\"'](?P<id>[^\"']+)[\"']")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 
 
@@ -40,19 +45,33 @@ def markdown_anchors(path: str) -> Set[str]:
     anchors: Set[str] = set()
     counts: Dict[str, int] = {}
     in_fence = False
+
+    def add(title: str) -> None:
+        slug = github_slug(title)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+
     with open(path, "r", encoding="utf-8") as fh:
+        prev = ""
         for line in fh:
             if CODE_FENCE_RE.match(line):
                 in_fence = not in_fence
+                prev = ""
                 continue
             if in_fence:
                 continue
             m = HEADING_RE.match(line)
             if m:
-                slug = github_slug(m.group("title"))
-                n = counts.get(slug, 0)
-                counts[slug] = n + 1
-                anchors.add(slug if n == 0 else f"{slug}-{n}")
+                add(m.group("title"))
+            elif SETEXT_RE.match(line) and prev.strip():
+                # ``Title`` underlined with === or --- (setext heading).
+                # A lone --- after a blank line is a thematic break, not
+                # a heading — the prev.strip() guard excludes it.
+                add(prev)
+            for a in HTML_ANCHOR_RE.finditer(line):
+                anchors.add(a.group("id"))
+            prev = line
     return anchors
 
 
@@ -93,8 +112,15 @@ def check_file(path: str) -> Tuple[List[str], int]:
         else:
             dest = path  # pure-anchor link into this file
         if anchor:
+            if os.path.isdir(dest):
+                problems.append(
+                    f"{path}:{lineno}: broken anchor -> {target} "
+                    f"(target {file_part} is a directory — no headings)"
+                )
+                continue
             if not dest.endswith((".md", ".markdown")):
-                continue  # anchors into non-markdown: out of scope
+                continue  # anchors into non-markdown (e.g. #L10 source
+                # line references): out of scope
             if anchor not in markdown_anchors(dest):
                 problems.append(
                     f"{path}:{lineno}: broken anchor -> {target} "

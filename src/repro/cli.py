@@ -19,7 +19,7 @@ Each experiment prints its paper-shaped table and (with ``--save``) writes
 it under ``results/``.  ``simulate`` partitions a generated circuit, runs
 it through the hierarchical executor (part-level gate fusion on by
 default; disable with ``--no-fuse``; pick where sweeps run with
-``--backend serial|threaded|process`` and ``--threads``) and reports the
+``--backend serial|threaded|process|array`` and ``--threads``) and reports the
 compiled sweep counts, per-backend wall time and a cross-check against
 the flat simulator.  ``batch`` feeds a JSON job manifest through the
 :mod:`repro.serve` runtime (shared partition/plan caches across
@@ -146,6 +146,18 @@ def _simulate(args) -> int:
         f"(parts by backend: {parts_by_backend}) "
         f"part wall time {trace.total_seconds:.3f}s"
     )
+    if trace.strided_parts or trace.gathered_parts:
+        module = (
+            f" array module={trace.array_module}"
+            if trace.array_module
+            else ""
+        )
+        print(
+            f"kernel paths: strided parts={trace.strided_parts} "
+            f"(ops={trace.strided_ops}), gathered parts="
+            f"{trace.gathered_parts} (ops={trace.gathered_ops})"
+            + module
+        )
     print(m.summary())
     print(f"executed in {elapsed:.3f}s")
     if isinstance(state, StabilizerState):
@@ -522,7 +534,7 @@ def main(argv=None) -> int:
                        help="arity cap for fused dense unitaries "
                             "(default: 5)")
     p_sim.add_argument("--backend", default=None,
-                       choices=["serial", "threaded", "process"],
+                       choices=["serial", "threaded", "process", "array"],
                        help="execution backend (default: REPRO_BACKEND, "
                             "else serial; see docs/configuration.md)")
     p_sim.add_argument("--threads", type=int, default=None,
@@ -590,7 +602,7 @@ def main(argv=None) -> int:
                        help="arity cap for fused dense unitaries "
                             "(default: 5)")
     p_cut.add_argument("--backend", default=None,
-                       choices=["serial", "threaded", "process"],
+                       choices=["serial", "threaded", "process", "array"],
                        help="execution backend (default: REPRO_BACKEND, "
                             "else serial)")
     p_cut.add_argument("--threads", type=int, default=None,
@@ -627,7 +639,7 @@ def main(argv=None) -> int:
     p_batch.add_argument("--workers", type=int, default=None,
                          help="concurrent jobs (default: 1)")
     p_batch.add_argument("--backend", default=None,
-                         choices=["serial", "threaded", "process"],
+                         choices=["serial", "threaded", "process", "array"],
                          help="execution backend (default: REPRO_BACKEND, "
                               "else serial)")
     p_batch.add_argument("--threads", type=int, default=None,
@@ -680,7 +692,7 @@ def main(argv=None) -> int:
                          help="working-set limit, >= 1 (default: "
                               "qubits - 3 per circuit)")
     p_serve.add_argument("--backend", default=None,
-                         choices=["serial", "threaded", "process"],
+                         choices=["serial", "threaded", "process", "array"],
                          help="execution backend (default: REPRO_BACKEND, "
                               "else serial)")
     p_serve.add_argument("--threads", type=int, default=None,

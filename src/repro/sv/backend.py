@@ -17,8 +17,10 @@ implementations:
   (``numpy`` matmul) which releases the GIL into BLAS, so this yields
   real shared-memory parallelism without processes.  Block boundaries
   depend only on ``(rows, threads)`` and results are written back to
-  disjoint row slices, so output is **bit-identical** to serial
-  execution for any thread count.
+  disjoint row slices, so output is **deterministic**: identical bits
+  on every run at a given thread count (BLAS GEMM results can shift by
+  an ulp when the per-block column count changes, so agreement with
+  serial is exact in structure but pinned only to 1e-10 in general).
 * :class:`ProcessBackend` — same row-block decomposition, but blocks run
   in worker processes against the state held in
   ``multiprocessing.shared_memory``; for circuits whose per-block GEMMs
@@ -26,6 +28,26 @@ implementations:
   their block of the gather table locally from ``(n, qubits, lo, hi)``
   (:func:`~repro.sv.layout.gather_index_rows`), so only the compiled
   ops cross the process boundary.
+* :class:`ArrayBackend` — the same sweeps expressed through a pluggable
+  array namespace (:func:`resolve_array_module`: NumPy always, CuPy or
+  PyTorch when importable — ``REPRO_ARRAY_MODULE``).  With a device
+  module, the state is uploaded once per run (``begin_run``/``end_run``)
+  and each plan's matrices and gather table are kept device-resident in
+  a per-plan cache, so sweeps never touch the host between part
+  boundaries; with NumPy it shares the serial code path and is
+  **bit-identical** to :class:`SerialBackend`.
+
+Parts whose fused groups are all small (``<= REPRO_KERNEL_STRIDED_MAX``
+target qubits after control extraction, default 2) skip the gather
+matrix entirely: the in-place strided path
+(:func:`~repro.sv.kernels.apply_matrix_strided`) applies each op
+directly to the flat state, cutting a single-op part's memory traffic
+~3x (no index table, no gather, no scatter) while staying bit-identical
+to the gathered result on the same backend — both paths reduce to
+GEMMs of identical shape, so not even the last ulp moves.  ``run_plan``
+reports which path ran
+(``"strided"`` / ``"gather"``) and the executor's ``ExecutionTrace``
+tallies the counts; see ``docs/backends.md``.
 
 Backends are selected per executor (``backend="threaded"``), from the
 CLI (``repro simulate --backend threaded --threads 4``) or globally via
@@ -41,13 +63,23 @@ import atexit
 import os
 import threading
 import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..circuits.gates import Gate
-from .kernels import apply_gate, apply_matrix, apply_matrix_batched
+from .kernels import (
+    _apply_strided,
+    _gate_axes,
+    apply_gate,
+    apply_matrix,
+    apply_matrix_batched,
+    apply_matrix_strided,
+    split_controls,
+    strided_max_qubits,
+)
 from .layout import gather_index_rows
 
 __all__ = [
@@ -55,10 +87,14 @@ __all__ = [
     "SerialBackend",
     "ThreadedBackend",
     "ProcessBackend",
+    "ArrayBackend",
+    "ArrayModule",
     "BACKEND_NAMES",
+    "ARRAY_MODULE_NAMES",
     "get_backend",
     "shared_backend",
     "resolve_backend",
+    "resolve_array_module",
     "split_blocks",
     "DEFAULT_MIN_PARALLEL_ELEMENTS",
     "DEFAULT_BLOCK_ELEMENTS",
@@ -158,13 +194,21 @@ class ExecutionBackend:
 
     # -- work --------------------------------------------------------------
 
+    #: Array-namespace identity (``"numpy"``/``"cupy"``/``"torch"``) for
+    #: backends that route kernels through one; surfaced in
+    #: ``ExecutionTrace.array_module``.
+    array_module: Optional[str] = None
+
     def run_plan(
         self,
         plan,
         state: np.ndarray,
         num_qubits: int,
         mode: str = "batched",
-    ) -> None:
+    ) -> str:
+        """Execute one part plan; returns the kernel path that ran
+        (``"strided"`` for the gather-free fast lane, ``"gather"`` for
+        the gather-matrix sweep)."""
         raise NotImplementedError
 
     def apply_matrix_rows(
@@ -188,9 +232,46 @@ class ExecutionBackend:
         return self.name
 
 
-def _run_part_serial(plan, state: np.ndarray, num_qubits: int, mode: str) -> None:
-    """The baseline gather/execute/scatter loop (shared by all backends
-    as the small-workload fallback)."""
+def _strided_eligible(plan, strided_max: int) -> bool:
+    """True when every op of ``plan`` fits the gather-free strided path:
+    at most ``strided_max`` target qubits after control extraction."""
+    if strided_max < 0:
+        return False
+    for op in plan.ops:
+        if len(op.qubits) <= strided_max:
+            continue  # controls can only shrink the target count
+        _, targets, _ = split_controls(op.matrix(), op.qubits)
+        if len(targets) > strided_max:
+            return False
+    return True
+
+
+def _run_part_strided(plan, state: np.ndarray, num_qubits: int) -> None:
+    """Apply a part's ops directly to the flat state — no gather matrix.
+
+    Ops carry *global* qubit labels, so each one lands on the full state
+    through bit-strided views; bit-identical to the gathered sweep."""
+    for op in plan.ops:
+        apply_matrix_strided(
+            state, op.matrix(), op.qubits, num_qubits,
+            diagonal=op.is_diagonal,
+        )
+
+
+def _run_part_serial(
+    plan,
+    state: np.ndarray,
+    num_qubits: int,
+    mode: str,
+    strided_max: Optional[int] = None,
+) -> str:
+    """The baseline part loop (shared by all backends as the
+    small-workload fallback); returns the kernel path that ran."""
+    if strided_max is None:
+        strided_max = strided_max_qubits()
+    if mode == "batched" and _strided_eligible(plan, strided_max):
+        _run_part_strided(plan, state, num_qubits)
+        return "strided"
     w = len(plan.qubits)
     ops = plan.local_ops()
     table = plan.gather_table(num_qubits)
@@ -209,10 +290,15 @@ def _run_part_serial(plan, state: np.ndarray, num_qubits: int, mode: str) -> Non
                     in_sv, op.matrix(), op.qubits, w, diagonal=op.is_diagonal
                 )
             state[table[t]] = in_sv
+    return "gather"
 
 
 class SerialBackend(ExecutionBackend):
     """Single-threaded execution — the reference all others must match.
+
+    Small fused groups run gather-free (``strided_max``, default from
+    ``REPRO_KERNEL_STRIDED_MAX``); everything else takes the classic
+    gather/execute/scatter sweep.  Both paths are bit-identical.
 
     >>> import numpy as np
     >>> from repro.circuits.gates import make_gate
@@ -224,8 +310,15 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
+    def __init__(self, *, strided_max: Optional[int] = None) -> None:
+        self.strided_max = (
+            strided_max_qubits() if strided_max is None else int(strided_max)
+        )
+
     def run_plan(self, plan, state, num_qubits, mode="batched"):
-        _run_part_serial(plan, state, num_qubits, mode)
+        return _run_part_serial(
+            plan, state, num_qubits, mode, self.strided_max
+        )
 
     def apply_matrix_rows(
         self, rows, matrix, positions, num_local, *, diagonal=False
@@ -275,6 +368,7 @@ class ThreadedBackend(ExecutionBackend):
         *,
         min_parallel_elements: Optional[int] = None,
         block_elements: int = DEFAULT_BLOCK_ELEMENTS,
+        strided_max: Optional[int] = None,
     ) -> None:
         self.threads = int(threads) if threads else _default_workers()
         if self.threads < 1:
@@ -287,6 +381,9 @@ class ThreadedBackend(ExecutionBackend):
         self.block_elements = int(block_elements)
         if self.block_elements < 1:
             raise ValueError("block_elements must be >= 1")
+        self.strided_max = (
+            strided_max_qubits() if strided_max is None else int(strided_max)
+        )
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -342,12 +439,41 @@ class ThreadedBackend(ExecutionBackend):
 
     # -- work --------------------------------------------------------------
 
+    def _run_plan_strided(self, plan, state, num_qubits):
+        """Parallel gather-free sweep: ops touch only qubits below some
+        axis, so the flat state splits into independent leading row
+        blocks — same block math as the gather path, no table."""
+        if not plan.ops:
+            return "strided"  # nothing to apply, nothing to gather
+        q_top = max(q for op in plan.ops for q in op.qubits)
+        local = q_top + 1
+        rows = 1 << (num_qubits - local)
+        if rows < 2 or state.size < self.min_parallel_elements:
+            _run_part_strided(plan, state, num_qubits)
+            return "strided"
+        view = state.reshape(rows, 1 << local)
+
+        def block(lo: int, hi: int) -> None:
+            sub = view[lo:hi].reshape((hi - lo,) + (2,) * local)
+            for op in plan.ops:
+                _apply_strided(
+                    sub, op.matrix(), op.qubits, local, 1, op.is_diagonal
+                )
+
+        self._map_blocks(
+            block, split_blocks(rows, self._num_blocks(rows, state.size))
+        )
+        return "strided"
+
     def run_plan(self, plan, state, num_qubits, mode="batched"):
+        if mode == "batched" and _strided_eligible(plan, self.strided_max):
+            return self._run_plan_strided(plan, state, num_qubits)
         table = plan.gather_table(num_qubits)
         rows = table.shape[0]
         if rows < 2 or table.size < self.min_parallel_elements:
-            _run_part_serial(plan, state, num_qubits, mode)
-            return
+            return _run_part_serial(
+                plan, state, num_qubits, mode, self.strided_max
+            )
         w = len(plan.qubits)
         ops = plan.local_ops()
 
@@ -378,6 +504,7 @@ class ThreadedBackend(ExecutionBackend):
         self._map_blocks(
             block, split_blocks(rows, self._num_blocks(rows, table.size))
         )
+        return "gather"
 
     def apply_matrix_rows(
         self, rows, matrix, positions, num_local, *, diagonal=False
@@ -621,8 +748,7 @@ class ProcessBackend(ExecutionBackend):
         session = self._session_for(state)
         if rows < 2 or (rows << w) < self.min_parallel_elements:
             target = session[1] if session else state
-            _run_part_serial(plan, target, num_qubits, mode)
-            return
+            return _run_part_serial(plan, target, num_qubits, mode)
         owned = not session
         if owned:
             self.begin_run(state)
@@ -652,6 +778,7 @@ class ProcessBackend(ExecutionBackend):
         finally:
             if owned:
                 self.end_run(state)
+        return "gather"
 
     # Per-gate work does not amortise the process round trip; run those
     # call sites serially (the hierarchical part path is where this
@@ -668,15 +795,349 @@ class ProcessBackend(ExecutionBackend):
 
 
 # ---------------------------------------------------------------------------
+# Array-namespace backend
+# ---------------------------------------------------------------------------
+
+#: Array namespaces the :class:`ArrayBackend` knows how to adapt
+#: (``REPRO_ARRAY_MODULE``).  NumPy is always available; CuPy and
+#: PyTorch resolve only when importable.
+ARRAY_MODULE_NAMES = ("numpy", "cupy", "torch")
+
+
+class ArrayModule:
+    """Adapter pairing an array namespace with host-transfer primitives.
+
+    The :class:`ArrayBackend` speaks a tiny dialect — upload
+    (:meth:`from_host`), download (:meth:`to_host`), :meth:`moveaxis`,
+    plus whatever ``reshape`` / ``@`` / advanced indexing the arrays
+    themselves support — so one sweep implementation serves NumPy, CuPy
+    and PyTorch.  ``host`` marks the plain-NumPy module, where device
+    and host memory are the same thing and every transfer is free.
+
+    >>> import numpy as np
+    >>> mod = ArrayModule("numpy", np)
+    >>> mod.host
+    True
+    >>> arr = np.arange(4.0)
+    >>> mod.to_host(mod.from_host(arr)) is arr      # no copies on host
+    True
+    """
+
+    def __init__(self, name: str, xp, *, host: Optional[bool] = None) -> None:
+        self.name = name
+        self.xp = xp
+        self.host = (name == "numpy") if host is None else bool(host)
+        self.device = None
+        if name == "torch":  # pragma: no cover - torch not in CI image
+            self.device = "cuda" if xp.cuda.is_available() else "cpu"
+
+    def from_host(self, arr: np.ndarray):
+        """Upload a host array (no-op identity for the NumPy module)."""
+        if self.name == "torch":  # pragma: no cover
+            return self.xp.as_tensor(arr).to(self.device)
+        return self.xp.asarray(arr)
+
+    def to_host(self, dev) -> np.ndarray:
+        """Download a device array to host NumPy."""
+        if self.name == "torch":  # pragma: no cover
+            return dev.detach().cpu().numpy()
+        if self.name == "cupy":  # pragma: no cover - cupy not in CI image
+            return self.xp.asnumpy(dev)
+        return np.asarray(dev)
+
+    def moveaxis(self, a, src, dst):
+        """``moveaxis`` in whatever spelling the namespace uses."""
+        if self.name == "torch":  # pragma: no cover
+            return self.xp.movedim(a, src, dst)
+        return self.xp.moveaxis(a, src, dst)
+
+    def __repr__(self) -> str:
+        return f"ArrayModule({self.name!r})"
+
+
+def resolve_array_module(
+    spec: Union[None, str, ArrayModule] = None
+) -> ArrayModule:
+    """Resolve an array-namespace spec to an :class:`ArrayModule`.
+
+    ``None`` consults ``REPRO_ARRAY_MODULE`` (empty counts as unset,
+    default ``numpy``); a name imports the module (``cupy`` / ``torch``
+    raise a :class:`RuntimeError` naming the missing dependency when not
+    installed — nothing is ever installed implicitly); an
+    :class:`ArrayModule` instance passes through.
+
+    >>> resolve_array_module().name       # numpy is always available
+    'numpy'
+    >>> resolve_array_module("opencl")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown array module 'opencl'; choose from ('numpy', 'cupy', 'torch')"
+    """
+    if isinstance(spec, ArrayModule):
+        return spec
+    if spec is None:
+        spec = os.environ.get("REPRO_ARRAY_MODULE") or "numpy"
+    if spec not in ARRAY_MODULE_NAMES:
+        raise KeyError(
+            f"unknown array module {spec!r}; choose from {ARRAY_MODULE_NAMES}"
+        )
+    if spec == "numpy":
+        return ArrayModule("numpy", np)
+    try:
+        xp = __import__(spec)
+    except ImportError as exc:
+        raise RuntimeError(
+            f"array module {spec!r} is not importable ({exc}); install it "
+            "or set REPRO_ARRAY_MODULE=numpy"
+        ) from None
+    return ArrayModule(spec, xp)  # pragma: no cover - needs cupy/torch
+
+
+class ArrayBackend(ExecutionBackend):
+    """Kernel sweeps through a pluggable array namespace.
+
+    With the (default) NumPy module this backend shares the serial code
+    path outright — including the strided fast lane — so it is
+    bit-identical to :class:`SerialBackend` by construction.  With a
+    device module (CuPy, PyTorch) the state uploads once per run
+    (``begin_run``) and downloads once (``end_run``); in between, every
+    sweep runs device-side against matrices and gather tables held in a
+    bounded per-plan device cache (``plan_uploads`` / ``plan_cache_hits``
+    count the round trips saved), so repeated sweeps of a cached plan
+    move no bytes over the host link.  See ``docs/backends.md`` for the
+    residency lifecycle.
+
+    >>> backend = ArrayBackend()              # REPRO_ARRAY_MODULE or numpy
+    >>> backend.describe()
+    'array[numpy]'
+    >>> import numpy as np
+    >>> from repro.circuits.gates import make_gate
+    >>> state = np.zeros(4, dtype=np.complex128); state[0] = 1.0
+    >>> backend.apply_gate_flat(state, make_gate("x", [1]), 2)
+    >>> int(state.argmax())
+    2
+    """
+
+    name = "array"
+
+    #: Device-plan cache entries kept per backend (LRU beyond this).
+    MAX_CACHED_PLANS = 256
+
+    def __init__(
+        self,
+        threads: Optional[int] = None,
+        *,
+        module: Union[None, str, ArrayModule] = None,
+        strided_max: Optional[int] = None,
+    ) -> None:
+        del threads  # accepted for uniform construction; no pool here
+        self.module = resolve_array_module(module)
+        self.array_module = self.module.name
+        self.strided_max = (
+            strided_max_qubits() if strided_max is None else int(strided_max)
+        )
+        self.plan_uploads = 0
+        self.plan_cache_hits = 0
+        self._plans: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._plans_lock = threading.Lock()
+        self._sessions: Dict[int, object] = {}
+        self._session_lock = threading.Lock()
+
+    def describe(self) -> str:
+        return f"array[{self.module.name}]"
+
+    def close(self) -> None:
+        """Drop cached device plans and abandon any open sessions."""
+        with self._plans_lock:
+            self._plans.clear()
+        with self._session_lock:
+            self._sessions.clear()
+
+    # -- device-residency session -----------------------------------------
+
+    def begin_run(self, state: np.ndarray) -> None:
+        """Upload ``state`` once; sweeps stay device-side until
+        :meth:`end_run` (host module: the state *is* the device array)."""
+        key = id(state)
+        with self._session_lock:
+            if key in self._sessions:
+                raise RuntimeError(
+                    "a run on this state is already in progress"
+                )
+            self._sessions[key] = state if self.module.host else None
+        if not self.module.host:
+            dev = self.module.from_host(state)
+            with self._session_lock:
+                self._sessions[key] = dev
+
+    def end_run(self, state: np.ndarray) -> None:
+        """Download the device state back into ``state`` and close the
+        session (host module: nothing to move)."""
+        with self._session_lock:
+            dev = self._sessions.pop(id(state), None)
+        if dev is None or self.module.host:
+            return
+        state[...] = self.module.to_host(dev)
+
+    def _session_for(self, state: np.ndarray):
+        with self._session_lock:
+            return self._sessions.get(id(state))
+
+    # -- per-plan device cache --------------------------------------------
+
+    def _device_plan(self, plan, num_qubits: int) -> dict:
+        """Device-resident table + op matrices for ``plan`` (LRU cache).
+
+        Keyed by plan identity: the bound plan pins its cache entry, so
+        a ``PlanCache``-reused plan hits here on every subsequent sweep
+        and its matrices never cross the host link again.
+        """
+        key = (id(plan), num_qubits)
+        with self._plans_lock:
+            entry = self._plans.get(key)
+            if entry is not None and entry["plan"] is plan:
+                self.plan_cache_hits += 1
+                self._plans.move_to_end(key)
+                return entry
+        mod = self.module
+        w = len(plan.qubits)
+        ops = []
+        for op in plan.local_ops():
+            k = len(op.qubits)
+            axes = _gate_axes(w + 1, w, op.qubits, lead=1)
+            if op.is_diagonal:
+                # Pre-shape the diagonal factor for broadcast over the
+                # (batch,) + (2,)*w view; uploaded once, reused per sweep.
+                fac = np.ascontiguousarray(np.diag(op.matrix()))
+                fac = fac.reshape((2,) * k)
+                fac = fac.transpose(tuple(np.argsort(axes)))
+                shape = [1] * (w + 1)
+                for ax in axes:
+                    shape[ax] = 2
+                ops.append(
+                    (mod.from_host(fac.reshape(shape)), axes, True)
+                )
+            else:
+                ops.append((mod.from_host(op.matrix()), axes, False))
+        entry = {
+            "plan": plan,
+            "table": mod.from_host(plan.gather_table(num_qubits)),
+            "ops": ops,
+            "w": w,
+        }
+        with self._plans_lock:
+            self._plans[key] = entry
+            self.plan_uploads += 1
+            while len(self._plans) > self.MAX_CACHED_PLANS:
+                self._plans.popitem(last=False)
+        return entry
+
+    # -- work --------------------------------------------------------------
+
+    def _sweep_rows(self, inner, entry: dict):
+        """Apply a cached plan's ops to device rows ``(B, 2^w)``
+        (out of place: device namespaces may not alias views)."""
+        mod = self.module
+        w = entry["w"]
+        batch = inner.shape[0]
+        for dev_op, axes, diagonal in entry["ops"]:
+            view = inner.reshape((batch,) + (2,) * w)
+            if diagonal:
+                inner = (view * dev_op).reshape(batch, 1 << w)
+                continue
+            k = dev_op.shape[0].bit_length() - 1
+            front = list(range(1, k + 1))
+            moved = mod.moveaxis(view, axes, front)
+            shape = tuple(moved.shape)
+            flat = moved.reshape(batch, 1 << k, -1)
+            res = dev_op @ flat
+            inner = mod.moveaxis(
+                res.reshape(shape), front, axes
+            ).reshape(batch, 1 << w)
+        return inner
+
+    def run_plan(self, plan, state, num_qubits, mode="batched"):
+        if self.module.host:
+            return _run_part_serial(
+                plan, state, num_qubits, mode, self.strided_max
+            )
+        session = self._session_for(state)
+        owned = session is None
+        if owned:
+            # No bracketing run: pay the host transfer at this part
+            # boundary only.
+            self.begin_run(state)
+            session = self._session_for(state)
+        try:
+            entry = self._device_plan(plan, num_qubits)
+            table = entry["table"]
+            if mode == "batched":
+                session[table] = self._sweep_rows(session[table], entry)
+            else:
+                for t in range(table.shape[0]):
+                    rows = table[t : t + 1]
+                    session[rows] = self._sweep_rows(session[rows], entry)
+        finally:
+            if owned:
+                self.end_run(state)
+        return "gather"
+
+    # Row-batched and flat-gate call sites hand us host arrays; with a
+    # device module each call pays its own round trip, so the
+    # hierarchical part path is where this backend earns its keep.
+    def apply_matrix_rows(
+        self, rows, matrix, positions, num_local, *, diagonal=False
+    ):
+        if self.module.host:
+            apply_matrix_batched(
+                rows, matrix, positions, num_local, diagonal=diagonal
+            )
+            return
+        dev = self.module.from_host(rows)
+        axes = _gate_axes(num_local + 1, num_local, positions, lead=1)
+        entry = {
+            "plan": None,
+            "w": num_local,
+            "ops": [
+                self._device_op(matrix, axes, num_local, diagonal)
+            ],
+        }
+        rows[...] = self.module.to_host(self._sweep_rows(dev, entry))
+
+    def _device_op(self, matrix, axes, w, diagonal):
+        """One-off device op tuple in the :meth:`_sweep_rows` format."""
+        if diagonal:
+            k = len(axes)
+            fac = np.ascontiguousarray(np.diag(matrix)).reshape((2,) * k)
+            fac = fac.transpose(tuple(np.argsort(axes)))
+            shape = [1] * (w + 1)
+            for ax in axes:
+                shape[ax] = 2
+            return (self.module.from_host(fac.reshape(shape)), axes, True)
+        return (self.module.from_host(matrix), axes, False)
+
+    def apply_gate_flat(self, state, gate, num_qubits):
+        if self.module.host:
+            apply_gate(state, gate, num_qubits)
+            return
+        view = state.reshape(1, -1)
+        self.apply_matrix_rows(
+            view, gate.matrix(), gate.qubits, num_qubits,
+            diagonal=gate.is_diagonal,
+        )
+
+
+# ---------------------------------------------------------------------------
 # Selection / sharing
 # ---------------------------------------------------------------------------
 
-BACKEND_NAMES = ("serial", "threaded", "process")
+BACKEND_NAMES = ("serial", "threaded", "process", "array")
 
 _BACKEND_CLASSES = {
     "serial": SerialBackend,
     "threaded": ThreadedBackend,
     "process": ProcessBackend,
+    "array": ArrayBackend,
 }
 
 _shared: Dict[tuple, ExecutionBackend] = {}
@@ -698,7 +1159,7 @@ def get_backend(
             f"unknown backend {name!r}; choose from {BACKEND_NAMES}"
         )
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(**kwargs)
     return _BACKEND_CLASSES[name](threads, **kwargs)
 
 
@@ -748,6 +1209,6 @@ def resolve_backend(
     if threads is None:
         env = os.environ.get("REPRO_THREADS")
         threads = int(env) if env else None
-    if spec == "serial":
-        threads = None  # one shared serial instance regardless
+    if spec in ("serial", "array"):
+        threads = None  # one shared instance regardless of thread count
     return shared_backend(spec, threads)

@@ -136,8 +136,11 @@ class PartEngine:
         """True when :meth:`apply_part` accepts this plan."""
         raise NotImplementedError
 
-    def apply_part(self, state, plan, num_qubits: int, mode: str):
-        """Execute one part plan against ``state`` (mutated in place)."""
+    def apply_part(self, state, plan, num_qubits: int, mode: str) -> str:
+        """Execute one part plan against ``state`` (mutated in place);
+        returns the kernel-path tag the executor records in its trace
+        (``"strided"`` / ``"gather"`` for dense sweeps, ``"tableau"``
+        for the stabilizer engine)."""
         raise NotImplementedError
 
 
@@ -155,7 +158,8 @@ class DenseSVEngine(PartEngine):
     >>> qc = QuantumCircuit(2).x(0).cx(0, 1)
     >>> plan = compile_part(qc, [0, 1], [0, 1])
     >>> state = zero_state(2)
-    >>> _ = DenseSVEngine().apply_part(state, plan, 2, "batched")
+    >>> DenseSVEngine().apply_part(state, plan, 2, "batched")
+    'strided'
     >>> state.real.tolist()
     [0.0, 0.0, 0.0, 1.0]
     """
@@ -179,9 +183,8 @@ class DenseSVEngine(PartEngine):
         plan: CompiledPartPlan,
         num_qubits: int,
         mode: str = "batched",
-    ) -> np.ndarray:
-        self.backend.run_plan(plan, state, num_qubits, mode)
-        return state
+    ) -> str:
+        return self.backend.run_plan(plan, state, num_qubits, mode)
 
     def describe(self) -> str:
         """Backend identity label (e.g. ``"threaded[4]"``)."""
@@ -219,6 +222,6 @@ class StabilizerEngine(PartEngine):
         plan: StabilizerPartPlan,
         num_qubits: int,
         mode: str = "batched",
-    ) -> StabilizerState:
+    ) -> str:
         state.apply_all(plan.gates)
-        return state
+        return "tableau"

@@ -24,8 +24,12 @@ level part" rule.
 
 Where the sweeps run is delegated to an
 :class:`~repro.sv.backend.ExecutionBackend` (``backend=``): serial (the
-default), threaded row-block parallelism, or shared-memory worker
-processes — all bit-identical to each other by construction.
+default), threaded row-block parallelism, shared-memory worker
+processes, or the array-namespace backend (NumPy/CuPy/PyTorch) — all
+bit-identical to each other by construction on the NumPy paths.  Parts
+whose fused groups are small enough skip the gather matrix entirely
+(the strided fast lane — see ``docs/backends.md``); the trace records
+which lane each part took.
 
 *What* runs them is a per-part engine decision (``method=``): dense
 gather-matrix sweeps by default, or the
@@ -82,6 +86,14 @@ class ExecutionTrace:
     ``boundary_conversions`` counts tableau→dense materialisations at
     Clifford/non-Clifford part boundaries.
 
+    Kernel-path routing: ``strided_parts`` / ``gathered_parts`` count
+    dense parts per path (the gather-free strided lane vs the
+    gather-matrix sweep), ``strided_ops`` / ``gathered_ops`` the kernel
+    sweeps each executed, and ``array_module`` records the array
+    namespace when an :class:`~repro.sv.backend.ArrayBackend` ran the
+    parts.  ``gather_elements``/``scatter_elements`` grow only for
+    gathered parts — strided parts move no gather traffic at all.
+
     >>> trace = ExecutionTrace(part_gates=[10, 6], part_ops=[3, 2])
     >>> trace.num_parts, trace.total_gates, trace.sweeps_saved
     (2, 16, 11)
@@ -97,6 +109,11 @@ class ExecutionTrace:
     part_engines: List[str] = field(default_factory=list)
     engine_parts: Dict[str, int] = field(default_factory=dict)
     boundary_conversions: int = 0
+    strided_parts: int = 0
+    gathered_parts: int = 0
+    strided_ops: int = 0
+    gathered_ops: int = 0
+    array_module: Optional[str] = None
 
     @property
     def num_parts(self) -> int:
@@ -178,8 +195,9 @@ class HierarchicalExecutor:
         reuse compiled plans across executors and engines.
     backend:
         Where sweeps run: an :class:`~repro.sv.backend.ExecutionBackend`
-        instance, a name (``"serial"`` / ``"threaded"`` / ``"process"``),
-        or ``None`` to follow ``REPRO_BACKEND`` (default serial).
+        instance, a name (``"serial"`` / ``"threaded"`` / ``"process"``
+        / ``"array"``), or ``None`` to follow ``REPRO_BACKEND`` (default
+        serial).
     threads:
         Worker count for a backend resolved by name/environment
         (default: ``REPRO_THREADS`` or the machine's core count).
@@ -377,16 +395,23 @@ class HierarchicalExecutor:
         trace: Optional[ExecutionTrace],
     ) -> None:
         t0 = time.perf_counter()
-        self._dense_engine.apply_part(state, plan, n, self.mode)
+        path = self._dense_engine.apply_part(state, plan, n, self.mode)
         elapsed = time.perf_counter() - t0
         if trace is not None:
-            table_size = 1 << n
             trace.part_qubits.append(tuple(plan.qubits))
             trace.part_gates.append(plan.num_source_gates)
             trace.part_ops.append(plan.num_ops)
             trace.part_seconds.append(elapsed)
             label = self.backend.describe()
             trace.backend_parts[label] = trace.backend_parts.get(label, 0) + 1
-            trace.gather_elements += table_size
-            trace.scatter_elements += table_size
+            if path == "strided":
+                trace.strided_parts += 1
+                trace.strided_ops += plan.num_ops
+            else:
+                trace.gathered_parts += 1
+                trace.gathered_ops += plan.num_ops
+                trace.gather_elements += 1 << n
+                trace.scatter_elements += 1 << n
+            if self.backend.array_module is not None:
+                trace.array_module = self.backend.array_module
             self._record_engine(trace, "dense")

@@ -10,12 +10,21 @@ Two interchangeable engines:
   the paper's Fig. 1 description; used for cross-validation and as the
   access-pattern source for the cache model.
 
+A third, gather-free path backs the execution backends'
+small-fused-group fast lane: :func:`apply_matrix_strided` applies a
+unitary directly to the flat state through bit-strided views — no
+``(2^(n-w), 2^w)`` gather matrix, no index table — and
+:func:`split_controls` peels control qubits off a matrix so controlled
+and diagonal groups touch only the rows they change.  Eligibility is
+governed by ``REPRO_KERNEL_STRIDED_MAX`` (:func:`strided_max_qubits`).
+
 All kernels operate **in place** and return their input array.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import os
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -25,13 +34,24 @@ from .layout import axis_of_qubit, gather_index_table
 __all__ = [
     "apply_matrix",
     "apply_matrix_batched",
+    "apply_matrix_strided",
     "apply_gate",
     "apply_gate_batched",
     "apply_gate_reference",
     "apply_circuit",
+    "split_controls",
+    "strided_max_qubits",
     "flops_for_gate",
     "bytes_touched_for_gate",
+    "bytes_touched_strided",
+    "bytes_touched_gather_part",
+    "DEFAULT_STRIDED_MAX",
 ]
+
+#: Default arity ceiling (in *target* qubits, after control extraction)
+#: for the gather-free strided path; override via
+#: ``REPRO_KERNEL_STRIDED_MAX``.
+DEFAULT_STRIDED_MAX = 2
 
 
 def _gate_axes(n_axes_total: int, n_qubits: int, qubits: Sequence[int], lead: int) -> list:
@@ -215,6 +235,193 @@ def apply_circuit(state: np.ndarray, gates: Sequence[Gate], num_qubits: int) -> 
 
 
 # ---------------------------------------------------------------------------
+# Gather-free strided path (small fused groups skip the gather matrix)
+# ---------------------------------------------------------------------------
+
+
+def strided_max_qubits() -> int:
+    """Resolve the strided-path arity ceiling from the environment.
+
+    Fused groups with at most this many *target* qubits (controls are
+    free — they only shrink the touched region) run gather-free via
+    :func:`apply_matrix_strided`; larger groups take the gather-matrix
+    path.  Reads ``REPRO_KERNEL_STRIDED_MAX`` (default
+    :data:`DEFAULT_STRIDED_MAX`); a negative value disables the strided
+    path entirely.
+
+    >>> import os
+    >>> os.environ.pop("REPRO_KERNEL_STRIDED_MAX", None) and None
+    >>> strided_max_qubits()
+    2
+    >>> os.environ["REPRO_KERNEL_STRIDED_MAX"] = "-1"   # force gather
+    >>> strided_max_qubits()
+    -1
+    >>> del os.environ["REPRO_KERNEL_STRIDED_MAX"]
+    """
+    return int(
+        os.environ.get("REPRO_KERNEL_STRIDED_MAX", "")
+        or DEFAULT_STRIDED_MAX
+    )
+
+
+def split_controls(
+    matrix: np.ndarray, qubits: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...], np.ndarray]:
+    """Peel control qubits off a unitary: ``(controls, targets, sub)``.
+
+    Operand ``c`` is a *control* when the matrix is block-diagonal in
+    bit ``c`` and the ``bit=0`` block is exactly the identity — then the
+    op only changes amplitudes whose control bits are all 1, and ``sub``
+    is the reduced matrix over the remaining target operands (operand
+    order preserved).  Detection is exact (``==`` on entries), so
+    applying ``sub`` to the selected slice reproduces the full matrix's
+    result to the last bit; matrices with no control structure come back
+    unchanged as ``((), qubits, matrix)``.
+
+    >>> from repro.circuits.gates import make_gate
+    >>> cx = make_gate("cx", [0, 1])            # operand 0 is the control
+    >>> controls, targets, sub = split_controls(cx.matrix(), cx.qubits)
+    >>> controls, targets
+    ((0,), (1,))
+    >>> sub.real.astype(int).tolist()           # the bare X on qubit 1
+    [[0, 1], [1, 0]]
+    >>> ccx = make_gate("ccx", [2, 0, 1])
+    >>> split_controls(ccx.matrix(), ccx.qubits)[:2]
+    ((2, 0), (1,))
+    """
+    qubits = tuple(qubits)
+    k = len(qubits)
+    dim = 1 << k
+    if matrix.shape != (dim, dim):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    idx = np.arange(dim)
+    control_pos = []
+    for c in range(k):
+        bits = (idx >> c) & 1
+        if matrix[bits[:, None] != bits[None, :]].any():
+            continue  # mixes the bit=0 / bit=1 halves
+        zero_half = idx[bits == 0]
+        block = matrix[np.ix_(zero_half, zero_half)]
+        if not np.array_equal(block, np.eye(dim >> 1)):
+            continue  # acts on the bit=0 half
+        control_pos.append(c)
+    if not control_pos:
+        return (), qubits, matrix
+    keep = idx
+    for c in control_pos:
+        keep = keep[((keep >> c) & 1) == 1]
+    sub = np.ascontiguousarray(matrix[np.ix_(keep, keep)])
+    control_set = set(control_pos)
+    controls = tuple(qubits[c] for c in control_pos)
+    targets = tuple(
+        q for i, q in enumerate(qubits) if i not in control_set
+    )
+    return controls, targets, sub
+
+
+def _apply_strided(
+    view: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_local: int,
+    lead: int,
+    diagonal: bool,
+) -> None:
+    """Strided core: apply over a ``(…batch…,) + (2,)*num_local`` view.
+
+    Controls are peeled off and index the view down to the changed
+    slice; diagonal factors multiply only their non-identity entries.
+    ``lead`` counts leading batch axes (0 for a flat state, 1 for the
+    threaded backend's row blocks).
+    """
+    controls, targets, sub = split_controls(matrix, qubits)
+    if controls and not targets and not diagonal:
+        # Fully-controlled dense op: the active block is a 1x1 phase.
+        # Demote one control back to a target so the work stays a GEMM,
+        # keeping bitwise parity with the gather path's GEMM.
+        targets = (controls[-1],)
+        controls = controls[:-1]
+        sub = np.array(
+            [[1.0, 0.0], [0.0, complex(sub[0, 0])]], dtype=matrix.dtype
+        )
+    caxes: list = []
+    if controls:
+        index = [slice(None)] * view.ndim
+        for q in controls:
+            a = lead + axis_of_qubit(num_local, q)
+            index[a] = 1
+            caxes.append(a)
+        view = view[tuple(index)]  # basic indexing: still a view
+        caxes.sort()
+
+    def _axis(q: int) -> int:
+        a = lead + axis_of_qubit(num_local, q)
+        return a - sum(1 for ca in caxes if ca < a)
+
+    axes = [_axis(q) for q in reversed(targets)]
+    if not targets:
+        fac = complex(sub[0, 0])
+        if fac != 1:
+            view *= fac
+    elif diagonal:
+        d = np.ascontiguousarray(np.diag(sub))
+        s = len(targets)
+        for j in range(1 << s):
+            if d[j] == 1:
+                continue  # identity entries leave their rows untouched
+            index: list = [slice(None)] * view.ndim
+            for t, ax in enumerate(axes):  # axes[0] = most significant
+                index[ax] = (j >> (s - 1 - t)) & 1
+            view[tuple(index)] *= d[j]
+    else:
+        _apply_dense(view, sub, axes)
+
+
+def apply_matrix_strided(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+    *,
+    diagonal: bool = False,
+) -> np.ndarray:
+    """Gather-free in-place application through bit-strided views.
+
+    Equivalent to :func:`apply_matrix` — and bit-identical to applying
+    the same op through the hierarchical gather path — but never builds
+    an index table or a gathered copy of the state: the flat array is
+    reshaped to ``(2,)*n`` (a view) and the op touches only the slices
+    it changes.  Control qubits (:func:`split_controls`) restrict the
+    sweep to the rows where every control bit is 1, and identity entries
+    of diagonal ops are skipped outright, so a ``ccx`` on a 20-qubit
+    state writes ``2^18`` amplitudes instead of gathering all ``2^20``.
+
+    >>> import numpy as np
+    >>> from repro.circuits.gates import make_gate
+    >>> state = np.zeros(8, dtype=np.complex128); state[3] = 1.0  # |011>
+    >>> ccx = make_gate("ccx", [0, 1, 2])       # controls 0,1 → target 2
+    >>> _ = apply_matrix_strided(state, ccx.matrix(), ccx.qubits, 3)
+    >>> int(state.argmax())                     # |011> -> |111>
+    7
+    """
+    k = len(qubits)
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    if state.size != 1 << num_qubits:
+        raise ValueError(
+            f"state has {state.size} amplitudes but num_qubits="
+            f"{num_qubits} requires {1 << num_qubits}"
+        )
+    view = state.reshape((2,) * num_qubits)
+    _apply_strided(view, matrix, qubits, num_qubits, 0, diagonal)
+    return state
+
+
+# ---------------------------------------------------------------------------
 # Cost accounting (Sec. III-A roofline quantities)
 # ---------------------------------------------------------------------------
 
@@ -252,3 +459,40 @@ def bytes_touched_for_gate(num_qubits: int, diagonal: bool = False) -> int:
     """
     del diagonal  # same traffic either way; parameter kept for clarity
     return 2 * 16 * (1 << num_qubits)
+
+
+def bytes_touched_strided(num_qubits: int, num_controls: int = 0) -> int:
+    """Traffic model for one gather-free strided sweep.
+
+    The strided path reads and writes only the slice where every
+    control bit is 1 — ``2^(n-c)`` complex128 amplitudes each way — and
+    never materialises an index table or a gathered copy.
+
+    >>> bytes_touched_strided(10)                 # == a plain gate sweep
+    32768
+    >>> bytes_touched_strided(10, num_controls=1) # cx touches half
+    16384
+    """
+    return 2 * 16 * (1 << (num_qubits - num_controls))
+
+
+def bytes_touched_gather_part(num_qubits: int, num_ops: int) -> int:
+    """Traffic model for one gather-matrix part sweep of ``num_ops`` ops.
+
+    The gather path builds the int64 index table (8 B per amplitude),
+    gathers the state into the ``(2^(n-w), 2^w)`` matrix (read + write),
+    sweeps every op over it, and scatters back — so even a single-op
+    part pays ``~3x`` the traffic of its strided equivalent
+    (:func:`bytes_touched_strided`).
+
+    >>> bytes_touched_gather_part(10, 1)
+    106496
+    >>> bytes_touched_gather_part(10, 1) / bytes_touched_strided(10)
+    3.25
+    """
+    amps = 1 << num_qubits
+    table = 8 * amps
+    gather = 2 * 16 * amps
+    ops = num_ops * 2 * 16 * amps
+    scatter = 2 * 16 * amps
+    return table + gather + ops + scatter

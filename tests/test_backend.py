@@ -13,6 +13,8 @@ from repro.circuits import generators
 from repro.dist.hisvsim import HiSVSimEngine
 from repro.partition import get_partitioner
 from repro.sv import (
+    ArrayBackend,
+    ArrayModule,
     ExecutionTrace,
     FusedGate,
     HierarchicalExecutor,
@@ -24,6 +26,7 @@ from repro.sv import (
     gather_index_rows,
     gather_index_table,
     get_backend,
+    resolve_array_module,
     resolve_backend,
     shared_backend,
     split_blocks,
@@ -395,6 +398,151 @@ class TestProcessBackend:
         assert result.returncode == 3
         assert "leaked shared_memory" not in result.stderr, result.stderr
         assert "resource_tracker" not in result.stderr, result.stderr
+
+
+# ---------------------------------------------------------------------------
+# Array backend
+# ---------------------------------------------------------------------------
+
+
+def _device_numpy() -> ArrayModule:
+    """NumPy masquerading as a device module: exercises the generic
+    upload/sweep/download path with no GPU in the test image."""
+    return ArrayModule("numpy", np, host=False)
+
+
+class TestArrayModuleResolution:
+    def test_selection_and_describe(self):
+        b = get_backend("array")
+        assert isinstance(b, ArrayBackend)
+        assert b.describe() == "array[numpy]"
+        assert b.array_module == "numpy"
+
+    def test_resolve_backend_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "array")
+        assert resolve_backend(None).name == "array"
+
+    def test_env_module_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY_MODULE", raising=False)
+        assert resolve_array_module().name == "numpy"
+        monkeypatch.setenv("REPRO_ARRAY_MODULE", "")
+        assert resolve_array_module().name == "numpy"  # empty = unset
+        monkeypatch.setenv("REPRO_ARRAY_MODULE", "numpy")
+        assert resolve_array_module().name == "numpy"
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(KeyError, match="opencl"):
+            resolve_array_module("opencl")
+
+    def test_missing_device_module_raises_runtime_error(self):
+        # The container ships neither cupy nor torch; requesting one
+        # must fail loudly (never install implicitly) and name the fix.
+        for name in ("cupy", "torch"):
+            try:
+                __import__(name)
+            except ImportError:
+                with pytest.raises(RuntimeError, match=name):
+                    resolve_array_module(name)
+            else:  # pragma: no cover - module present in this image
+                assert resolve_array_module(name).name == name
+
+    def test_module_instance_passthrough(self):
+        mod = _device_numpy()
+        assert resolve_array_module(mod) is mod
+        assert not mod.host
+        assert ArrayBackend(module=mod).module is mod
+
+
+class TestArrayBackend:
+    def test_numpy_module_bit_identical_to_serial(self):
+        qc = generators.build("grover", 9)
+        p = get_partitioner("dagP").partition(qc, 6)
+        serial = zero_state(9)
+        HierarchicalExecutor(backend=SerialBackend()).run(qc, p, serial)
+        arr = zero_state(9)
+        with ArrayBackend() as backend:
+            HierarchicalExecutor(backend=backend).run(qc, p, arr)
+        assert np.array_equal(serial, arr)
+
+    @pytest.mark.parametrize("mode", ["batched", "literal"])
+    def test_device_path_matches_serial(self, mode):
+        qc = random_circuit(7, 20, seed=13)
+        p = get_partitioner("dagP").partition(qc, 5)
+        serial = zero_state(7)
+        HierarchicalExecutor(mode=mode, backend=SerialBackend()).run(
+            qc, p, serial
+        )
+        arr = zero_state(7)
+        with ArrayBackend(module=_device_numpy()) as backend:
+            HierarchicalExecutor(mode=mode, backend=backend).run(qc, p, arr)
+        assert float(np.max(np.abs(arr - serial))) < 1e-12
+
+    def test_device_plan_cache_hits_across_sweeps(self):
+        qc = generators.build("qft", 7)
+        p = get_partitioner("dagP").partition(qc, 5)
+        cache = PlanCache()
+        with ArrayBackend(module=_device_numpy()) as backend:
+            ex = HierarchicalExecutor(backend=backend, plan_cache=cache)
+            ex.run(qc, p, zero_state(7))
+            first_uploads = backend.plan_uploads
+            assert first_uploads == p.num_parts
+            assert backend.plan_cache_hits == 0
+            # Re-running the shared plans must not re-upload anything.
+            ex.run(qc, p, zero_state(7))
+            assert backend.plan_uploads == first_uploads
+            assert backend.plan_cache_hits == p.num_parts
+
+    def test_plan_cache_is_bounded(self):
+        with ArrayBackend(module=_device_numpy()) as backend:
+            backend.MAX_CACHED_PLANS = 3
+            plans = []
+            for seed in range(5):
+                qc = random_circuit(4, 6, seed=seed)
+                p = get_partitioner("Nat").partition(qc, 3)
+                ex = HierarchicalExecutor(backend=backend)
+                ex.run(qc, p, zero_state(4))
+                plans.append(p)
+            assert len(backend._plans) <= 3
+
+    def test_session_lifecycle_and_nested_guard(self):
+        backend = ArrayBackend(module=_device_numpy())
+        state = zero_state(4)
+        backend.begin_run(state)
+        try:
+            with pytest.raises(RuntimeError):
+                backend.begin_run(state)
+        finally:
+            backend.end_run(state)
+        assert backend._sessions == {}
+        # end_run without a session is a no-op, not an error.
+        backend.end_run(state)
+
+    def test_apply_gate_flat_device_round_trip(self):
+        from repro.circuits.gates import make_gate
+
+        expected = zero_state(3)
+        apply = zero_state(3)
+        serial = SerialBackend()
+        with ArrayBackend(module=_device_numpy()) as backend:
+            for gate in (
+                make_gate("h", [0]),
+                make_gate("cx", [0, 2]),
+                make_gate("rz", [1], [0.3]),
+            ):
+                serial.apply_gate_flat(expected, gate, 3)
+                backend.apply_gate_flat(apply, gate, 3)
+        assert float(np.max(np.abs(apply - expected))) < 1e-15
+
+    def test_trace_records_array_module(self):
+        qc = generators.build("bv", 7)
+        p = get_partitioner("dagP").partition(qc, 5)
+        trace = ExecutionTrace()
+        with ArrayBackend() as backend:
+            HierarchicalExecutor(backend=backend).run(
+                qc, p, zero_state(7), trace=trace
+            )
+        assert trace.array_module == "numpy"
+        assert trace.strided_parts + trace.gathered_parts == p.num_parts
 
 
 # ---------------------------------------------------------------------------

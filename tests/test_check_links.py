@@ -1,0 +1,159 @@
+"""Unit tests for scripts/check_links.py (the docs link/anchor gate).
+
+The checker is also exercised end-to-end against the real docs tree by
+``tests/test_docs.py``; here every rule gets a minimal fixture so a
+regression names the exact rule that broke.
+"""
+
+import importlib.util
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_spec = importlib.util.spec_from_file_location(
+    "check_links", os.path.join(REPO, "scripts", "check_links.py")
+)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+def write(path, text):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestGithubSlug:
+    def test_lowercase_hyphenate(self):
+        assert check_links.github_slug("The CI Perf Gate") == "the-ci-perf-gate"
+
+    def test_punctuation_stripped(self):
+        assert check_links.github_slug("Gather vs. strided!") == (
+            "gather-vs-strided"
+        )
+
+    def test_inline_code_and_links_unwrapped(self):
+        assert check_links.github_slug("`repro.sv` — [docs](x.md)") == (
+            "reprosv--docs"
+        )
+
+
+class TestMarkdownAnchors:
+    def test_atx_headings(self, tmp_path):
+        p = write(tmp_path / "a.md", "# One\n\n## Two words\n")
+        assert check_links.markdown_anchors(p) == {"one", "two-words"}
+
+    def test_duplicate_headings_get_suffixes(self, tmp_path):
+        p = write(tmp_path / "a.md", "## Same\n## Same\n## Same\n")
+        assert check_links.markdown_anchors(p) == {"same", "same-1", "same-2"}
+
+    def test_headings_inside_code_fences_skipped(self, tmp_path):
+        p = write(tmp_path / "a.md", "# Real\n```\n# Not a heading\n```\n")
+        assert check_links.markdown_anchors(p) == {"real"}
+
+    def test_setext_headings(self, tmp_path):
+        p = write(tmp_path / "a.md", "Title\n=====\n\nSection\n-------\n")
+        assert check_links.markdown_anchors(p) == {"title", "section"}
+
+    def test_thematic_break_is_not_a_heading(self, tmp_path):
+        p = write(tmp_path / "a.md", "# Top\n\ntext\n\n---\n\nmore\n")
+        assert check_links.markdown_anchors(p) == {"top"}
+
+    def test_explicit_html_anchors(self, tmp_path):
+        p = write(
+            tmp_path / "a.md",
+            '# H\n<a id="pinned"></a>\n<a name="legacy">old</a>\n',
+        )
+        assert check_links.markdown_anchors(p) == {"h", "pinned", "legacy"}
+
+
+class TestCheckFile:
+    def test_clean_file_and_anchor_links(self, tmp_path):
+        write(tmp_path / "other.md", "# Target Heading\n")
+        p = write(
+            tmp_path / "a.md",
+            "# Here\n[f](other.md) [a](other.md#target-heading) "
+            "[self](#here) [ext](https://example.com/x)\n",
+        )
+        problems, checked = check_links.check_file(p)
+        assert problems == []
+        assert checked == 4
+
+    def test_missing_file_flagged(self, tmp_path):
+        p = write(tmp_path / "a.md", "[gone](nope.md)\n")
+        problems, _ = check_links.check_file(p)
+        assert len(problems) == 1
+        assert "no such file nope.md" in problems[0]
+
+    def test_missing_anchor_flagged(self, tmp_path):
+        write(tmp_path / "other.md", "# Only This\n")
+        p = write(tmp_path / "a.md", "[a](other.md#absent-heading)\n")
+        problems, _ = check_links.check_file(p)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+        assert "#absent-heading" in problems[0]
+
+    def test_missing_self_anchor_flagged(self, tmp_path):
+        p = write(tmp_path / "a.md", "# Here\n[s](#elsewhere)\n")
+        problems, _ = check_links.check_file(p)
+        assert len(problems) == 1
+        assert "broken anchor" in problems[0]
+
+    def test_anchor_into_directory_flagged(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        p = write(tmp_path / "a.md", "[d](sub) [bad](sub#readme)\n")
+        problems, _ = check_links.check_file(p)
+        assert len(problems) == 1
+        assert "is a directory" in problems[0]
+
+    def test_anchor_into_non_markdown_skipped(self, tmp_path):
+        write(tmp_path / "mod.py", "x = 1\n")
+        p = write(tmp_path / "a.md", "[line](mod.py#L1)\n")
+        problems, checked = check_links.check_file(p)
+        assert problems == []
+        assert checked == 1
+
+    def test_links_inside_code_fences_skipped(self, tmp_path):
+        p = write(tmp_path / "a.md", "```\n[x](missing.md)\n```\n")
+        problems, checked = check_links.check_file(p)
+        assert problems == []
+        assert checked == 0
+
+    def test_setext_anchor_resolves(self, tmp_path):
+        write(tmp_path / "other.md", "Long Title\n==========\n")
+        p = write(tmp_path / "a.md", "[a](other.md#long-title)\n")
+        problems, _ = check_links.check_file(p)
+        assert problems == []
+
+    def test_html_anchor_resolves(self, tmp_path):
+        write(tmp_path / "other.md", '<a id="custom-spot"></a>\n')
+        p = write(tmp_path / "a.md", "[a](other.md#custom-spot)\n")
+        problems, _ = check_links.check_file(p)
+        assert problems == []
+
+
+class TestMain:
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        p = write(tmp_path / "a.md", "# H\n[s](#h)\n")
+        assert check_links.main([p]) == 0
+        assert "0 broken" in capsys.readouterr().out
+
+    def test_exit_one_on_broken(self, tmp_path, capsys):
+        p = write(tmp_path / "a.md", "[gone](nope.md)\n")
+        assert check_links.main([p]) == 1
+        assert "1 broken" in capsys.readouterr().out
+
+    def test_missing_target_file_reported(self, tmp_path, capsys):
+        assert check_links.main([str(tmp_path / "ghost.md")]) == 1
+        assert "file not found" in capsys.readouterr().out
+
+    def test_default_targets_cover_readme_and_docs(self):
+        targets = check_links.default_targets()
+        names = {os.path.relpath(t, REPO) for t in targets}
+        assert "README.md" in names
+        assert os.path.join("docs", "backends.md") in names
+
+
+def test_repo_docs_are_clean():
+    """The real tree must pass — same gate CI runs."""
+    assert check_links.main([]) == 0

@@ -1,8 +1,8 @@
 """Randomized differential harness over the whole execution matrix.
 
 Every combination of {partitioner} x {fuse on/off} x {serial, threaded,
-process backend} x {batched, literal mode} must produce the same final
-state as the literal per-gate reference kernels, on seeded random
+process, array backend} x {batched, literal mode} must produce the same
+final state as the literal per-gate reference kernels, on seeded random
 circuits drawn from the full gate vocabulary.  This is the repo's
 broadest property test: any regression in partitioning, fusion,
 backends, gather tables or kernels lands somewhere in this grid.
@@ -11,8 +11,11 @@ Case economy: circuits/reference states are cached per seed and
 partitions per (seed, strategy), so the sweep's cost is dominated by the
 executions themselves.  The process backend runs a reduced seed set
 (real worker processes per case are the expensive axis); the full grid
-of 36 combinations is still covered and the total case count stays
-above 200 (see ``test_case_count_floor``).
+of 48 combinations is still covered and the total case count stays
+above 200 (see ``test_case_count_floor``).  The array backend sweeps
+its NumPy module, which is required to be bit-identical to the serial
+backend (checked against a serial rerun per case, not just the 1e-10
+reference tolerance).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import pytest
 from repro.circuits.circuit import QuantumCircuit
 from repro.partition import get_partitioner
 from repro.sv import (
+    ArrayBackend,
     ExecutionTrace,
     HierarchicalExecutor,
     ProcessBackend,
@@ -44,6 +48,7 @@ SEEDS = {
     "serial": tuple(range(8)),
     "threaded": tuple(range(8)),
     "process": tuple(range(3)),
+    "array": tuple(range(6)),
 }
 
 # 2 strategies-independent axes first: cases = sum over backends of
@@ -116,10 +121,12 @@ def backends():
         "serial": SerialBackend(),
         "threaded": ThreadedBackend(3, min_parallel_elements=0),
         "process": ProcessBackend(2, min_parallel_elements=0),
+        "array": ArrayBackend(),
     }
     yield made
     made["threaded"].close()
     made["process"].close()
+    made["array"].close()
 
 
 @pytest.mark.parametrize("backend,seed,strategy,fuse,mode", _case_params())
@@ -142,6 +149,18 @@ def test_differential(backends, backend, seed, strategy, fuse, mode):
     assert trace.total_gates == len(qc)
     assert trace.num_parts == partition.num_parts
     assert sum(trace.backend_parts.values()) == trace.num_parts
+    if backend == "array":
+        # The array backend's NumPy module routes through the same
+        # serial kernels, so it owes bit-identity, not mere closeness.
+        serial_state = np.zeros(1 << NUM_QUBITS, dtype=np.complex128)
+        serial_state[0] = 1.0
+        HierarchicalExecutor(
+            mode=mode, fuse=fuse, backend=backends["serial"]
+        ).run(qc, partition, serial_state)
+        assert np.array_equal(state, serial_state), (
+            f"array[numpy] diverged bitwise from serial: "
+            f"{strategy}/fuse={fuse}/{mode} seed={seed}"
+        )
 
 
 def test_case_count_floor():
@@ -150,7 +169,7 @@ def test_case_count_floor():
 
 
 def test_grid_is_complete():
-    """All 36 backend/strategy/fuse/mode combinations are exercised."""
+    """All 48 backend/strategy/fuse/mode combinations are exercised."""
     combos = {
         (b, s, f, m)
         for b in SEEDS
@@ -158,7 +177,7 @@ def test_grid_is_complete():
         for f in FUSE
         for m in MODES
     }
-    assert len(combos) == 36
+    assert len(combos) == 48
     swept = {
         (p.values[0], p.values[2], p.values[3], p.values[4])
         for p in _case_params()

@@ -14,6 +14,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 REQUIRED_PAGES = [
     "docs/architecture.md",
+    "docs/backends.md",
     "docs/benchmarks.md",
     "docs/serving.md",
     "docs/configuration.md",

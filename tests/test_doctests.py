@@ -94,8 +94,12 @@ DOCTEST_MODULES = [
 
 #: Exported names that are plain data (no docstring expected).
 DATA_EXPORTS = {
+    "ARRAY_MODULE_NAMES",
     "BACKEND_NAMES",
+    "DEFAULT_BLOCK_ELEMENTS",
     "DEFAULT_MAX_FUSED_QUBITS",
+    "DEFAULT_MIN_PARALLEL_ELEMENTS",
+    "DEFAULT_STRIDED_MAX",
     "METHOD_NAMES",
     "STRATEGIES",
     "SCHEDULES",
@@ -104,7 +108,18 @@ DATA_EXPORTS = {
     "PREP_STATES",
 }
 
-PACKAGES = [repro.sv, repro.partition, repro.dist, repro.serve, repro.cut]
+# ``repro.sv.backend`` / ``repro.sv.kernels`` are held to the package
+# contract module-wide: every export documented *and* doctested (the
+# backends page in ``docs/backends.md`` leans on these examples).
+PACKAGES = [
+    repro.sv,
+    repro.sv.backend,
+    repro.sv.kernels,
+    repro.partition,
+    repro.dist,
+    repro.serve,
+    repro.cut,
+]
 
 
 @pytest.mark.parametrize(

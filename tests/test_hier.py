@@ -99,8 +99,10 @@ class TestTrace:
         HierarchicalExecutor().run(qc, p, zero_state(8), trace=trace)
         assert trace.num_parts == p.num_parts
         assert sum(trace.part_gates) == len(qc)
-        # Each part gathers and scatters the full state once.
-        assert trace.gather_elements == p.num_parts * (1 << 8)
+        # Every part runs on exactly one kernel path, and only gathered
+        # parts move the full state through the index table.
+        assert trace.strided_parts + trace.gathered_parts == p.num_parts
+        assert trace.gather_elements == trace.gathered_parts * (1 << 8)
         assert trace.scatter_elements == trace.gather_elements
         for qubits, part in zip(trace.part_qubits, p.parts):
             assert set(part.qubits) <= set(qubits)
@@ -132,7 +134,15 @@ class TestFusedTrace:
         assert fused.part_gates == unfused.part_gates
         assert fused.total_gates == unfused.total_gates == len(qc)
         assert fused.part_qubits == unfused.part_qubits
-        assert fused.gather_elements == unfused.gather_elements
+        # Kernel-path accounting: each part is either strided or
+        # gathered, and gather traffic is charged only to gathered
+        # parts.  Fusion can change which path a part takes (larger
+        # fused ops fall back to the gather matrix), so the split may
+        # differ between the two runs — the totals may not.
+        for t in (fused, unfused):
+            assert t.strided_parts + t.gathered_parts == p.num_parts
+            assert t.gather_elements == t.gathered_parts * (1 << 7)
+            assert t.scatter_elements == t.gather_elements
         # Executed-sweep accounting reflects fusion.
         assert unfused.total_ops == len(qc)
         assert unfused.sweeps_saved == 0
